@@ -1,0 +1,45 @@
+"""Figure 5: compile-time breakdown per benchmark, normalized.
+
+For each benchmark and algorithm prints the fraction of total polyhedral
+compilation time spent in dependence analysis / auto-transformation / code
+generation / misc — the stacked bars of Fig. 5.  The paper's observation to
+reproduce: code generation dominates in many cases, and the periodic suite's
+Pluto+ bars shift further toward code generation (the transformation found
+is non-trivial, so scanning it costs more).
+"""
+
+import pytest
+
+from benchmarks._shared import compile_workloads, optimize_cached
+
+
+def _workload_params():
+    return [pytest.param(w, id=w.name) for w in compile_workloads()]
+
+
+@pytest.mark.parametrize("workload", _workload_params())
+def test_fig5_breakdown(workload, benchmark):
+    def run_both():
+        return (
+            optimize_cached(workload, "pluto"),
+            optimize_cached(workload, "plutoplus"),
+        )
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print(f"\nFig. 5 breakdown — {workload.name}")
+    print(
+        f"  {'variant':10s} {'dep':>6s} {'auto':>6s} {'codegen':>8s} {'misc':>6s}"
+        f"   (fractions of total)"
+    )
+    for label, res in zip(("pluto", "pluto+"), results):
+        t = res.timing
+        total = max(t.total, 1e-9)
+        print(
+            f"  {label:10s} {t.dependence_analysis / total:6.2f} "
+            f"{t.auto_transformation / total:6.2f} "
+            f"{t.code_generation / total:8.2f} {t.misc / total:6.2f}"
+        )
+        assert abs(
+            t.dependence_analysis + t.auto_transformation + t.code_generation + t.misc
+            - t.total
+        ) < 1e-6

@@ -1,0 +1,120 @@
+"""Figure 6: performance of the periodic suite vs core count.
+
+For every Fig. 6 panel the harness (a) runs both compiler pipelines on the
+benchmark's polyhedral model, (b) classifies the resulting code's execution
+mode (space-parallel for icc-omp-vec/Pluto, diamond-tiled for Pluto+), and
+(c) sweeps 1..16 cores through the calibrated Table 1 machine model,
+printing the paper's series (seconds, or MLUPS for the LBM panels, with the
+Palabos reference where the paper provides one).
+
+Shape expectations (Section 4.2): Pluto's curve coincides with icc-omp-vec
+on every periodic benchmark (no time tiling found); Pluto+ time-tiles and
+both raises the curve and keeps it scaling; the headline 16-core factors are
+heat-1dp 2.72x, heat-2dp 6.73x, heat-3dp 1.4x, LBM ~1.33x mean, swim 2.73x.
+"""
+
+import math
+
+import pytest
+
+from benchmarks._shared import (
+    PALABOS_REFERENCE_MLUPS,
+    optimize_cached,
+    perf_workloads,
+)
+from repro.machine import ExecutionMode, classify_result, estimate
+
+CORE_COUNTS = (1, 2, 4, 8, 12, 16)
+
+_SPEEDUPS: dict[str, float] = {}
+
+_PAPER_16C = {
+    "heat-1dp": 2.72,
+    "heat-2dp": 6.73,
+    "heat-3dp": 1.4,
+    "swim": 2.73,
+}
+
+
+def _workload_params():
+    return [pytest.param(w, id=w.name) for w in perf_workloads()]
+
+
+@pytest.mark.parametrize("workload", _workload_params())
+def test_fig6_panel(workload, benchmark):
+    def pipelines():
+        return (
+            optimize_cached(workload, "pluto"),
+            optimize_cached(workload, "plutoplus"),
+        )
+
+    pluto_res, plus_res = benchmark.pedantic(pipelines, rounds=1, iterations=1)
+    pluto_mode = classify_result(pluto_res)
+    plus_mode = classify_result(plus_res)
+
+    # The paper's central qualitative claims: Pluto+ time-tiles every
+    # periodic benchmark (diamond/concurrent start for the stencils and LBM;
+    # swim's multi-sweep structure tiles as a pipelined wavefront band),
+    # while classic Pluto never can.
+    assert plus_mode in (ExecutionMode.DIAMOND, ExecutionMode.WAVEFRONT)
+    if workload.name != "swim":
+        assert plus_mode == ExecutionMode.DIAMOND
+    assert pluto_mode not in (ExecutionMode.DIAMOND, ExecutionMode.WAVEFRONT)
+
+    unit = "MLUPS" if workload.perf.mlups else "seconds"
+    print(f"\nFig. 6 — {workload.name} ({unit} vs cores)")
+    header = f"  {'cores':>5s} {'icc-omp-vec/pluto':>18s} {'pluto+':>12s}"
+    if workload.name in PALABOS_REFERENCE_MLUPS:
+        header += f" {'palabos(ref)':>13s}"
+    print(header)
+    for cores in CORE_COUNTS:
+        base = estimate(workload, ExecutionMode.SPACE_PARALLEL, cores)
+        plus = estimate(workload, plus_mode, cores)
+        if workload.perf.mlups:
+            line = f"  {cores:5d} {base.mlups:18.1f} {plus.mlups:12.1f}"
+        else:
+            line = f"  {cores:5d} {base.seconds:18.2f} {plus.seconds:12.2f}"
+        if workload.name in PALABOS_REFERENCE_MLUPS:
+            line += f" {PALABOS_REFERENCE_MLUPS[workload.name]:13.1f}"
+        print(line)
+
+    from repro.reporting import ascii_series
+
+    metric = "mlups" if workload.perf.mlups else "seconds"
+    series = {
+        "pluto": [
+            getattr(estimate(workload, ExecutionMode.SPACE_PARALLEL, c), metric)
+            for c in CORE_COUNTS
+        ],
+        "pluto+": [
+            getattr(estimate(workload, plus_mode, c), metric)
+            for c in CORE_COUNTS
+        ],
+    }
+    if workload.name in PALABOS_REFERENCE_MLUPS:
+        series["palabos"] = [PALABOS_REFERENCE_MLUPS[workload.name]] * len(CORE_COUNTS)
+    print(ascii_series(list(CORE_COUNTS), series, width=40, height=10))
+
+    base16 = estimate(workload, ExecutionMode.SPACE_PARALLEL, 16)
+    plus16 = estimate(workload, plus_mode, 16)
+    factor = base16.seconds / plus16.seconds
+    _SPEEDUPS[workload.name] = factor
+    paper = _PAPER_16C.get(workload.name)
+    note = f" (paper: {paper}x)" if paper else ""
+    print(f"  16-core speedup pluto+ over pluto/icc: {factor:.2f}x{note}")
+    assert factor > 1.0, "Pluto+ must not degrade performance (Section 4.2)"
+
+
+def test_fig6_speedup_summary(benchmark):
+    benchmark(lambda: len(_SPEEDUPS))  # keeps the summary in --benchmark-only runs
+    if not _SPEEDUPS:
+        pytest.skip("panel benches did not run")
+    lbm = [v for k, v in _SPEEDUPS.items() if k.startswith("lbm") and "d3q27" not in k]
+    print("\nSection 4.2 headline factors (modeled vs paper):")
+    for name, factor in sorted(_SPEEDUPS.items()):
+        paper = _PAPER_16C.get(name, "-")
+        print(f"  {name:20s} {factor:6.2f}x   paper: {paper}")
+    if lbm:
+        mean = math.exp(sum(math.log(v) for v in lbm) / len(lbm))
+        print(f"  {'LBM d2q9 mean':20s} {mean:6.2f}x   paper: 1.33")
+        assert 1.1 < mean < 1.7

@@ -1,0 +1,103 @@
+"""Micro-benchmarks of the substrate layers: ILP, Farkas/FM, dependence
+analysis, and code generation.  These track the per-component costs behind
+the Table 3 / Fig. 5 numbers.
+"""
+
+import pytest
+
+from repro.core import legality_constraints
+from repro.deps import compute_dependences
+from repro.frontend import parse_program
+from repro.ilp import ILPModel, lexmin, solve_ilp, solve_lp
+
+GEMM = """
+for (i = 0; i < NI; i++)
+    for (j = 0; j < NJ; j++) {
+        C[i][j] = C[i][j] * beta;
+        for (k = 0; k < NK; k++)
+            C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+    }
+"""
+
+JACOBI2D = """
+for (t = 0; t < T; t++) {
+    for (i = 1; i < N-1; i++)
+        for (j = 1; j < N-1; j++)
+            B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+    for (i = 1; i < N-1; i++)
+        for (j = 1; j < N-1; j++)
+            A[i][j] = B[i][j];
+}
+"""
+
+
+def _mid_lp_model():
+    """A feasible 12-var/18-row model (origin satisfies every row)."""
+    m = ILPModel()
+    for i in range(12):
+        m.add_variable(f"x{i}", lower=0, upper=20)
+    for r in range(18):
+        coeffs = {f"x{(r + k) % 12}": (1 if k % 2 else -1) for k in range(5)}
+        m.add_constraint(coeffs, r % 7)  # const >= 0: x = 0 is feasible
+    return m
+
+
+class TestILPMicro:
+    def test_exact_simplex_lp(self, benchmark):
+        m = _mid_lp_model()
+        res = benchmark(lambda: solve_lp(m, {"x0": 1, "x5": 2}))
+        assert res.is_optimal
+
+    def test_exact_bb_ilp(self, benchmark):
+        m = _mid_lp_model()
+        res = benchmark(lambda: solve_ilp(m, {"x0": 1, "x5": 2}))
+        assert res.is_optimal
+
+    def test_highs_lexmin(self, benchmark):
+        m = _mid_lp_model()
+        m.set_objective_order([f"x{i}" for i in range(12)])
+        res = benchmark(lambda: lexmin(m, backend="highs"))
+        assert res.is_optimal
+
+
+class TestAnalysisMicro:
+    def test_dependence_analysis_gemm(self, benchmark):
+        p = parse_program(GEMM, "gemm", params=("NI", "NJ", "NK"))
+        deps = benchmark(lambda: compute_dependences(p))
+        assert deps
+
+    def test_dependence_analysis_jacobi2d(self, benchmark):
+        p = parse_program(JACOBI2D, "j2d", params=("T", "N"), param_min=4)
+        deps = benchmark(lambda: compute_dependences(p))
+        assert deps
+
+    def test_farkas_elimination(self, benchmark):
+        p = parse_program(JACOBI2D, "j2d", params=("T", "N"), param_min=4)
+        deps = compute_dependences(p)
+        dep = max(deps, key=lambda d: len(d.polyhedron.constraints))
+        rows = benchmark(lambda: legality_constraints(dep))
+        assert rows
+
+
+class TestCodegenMicro:
+    def test_scan_and_emit_tiled_gemm(self, benchmark):
+        from repro.core import (
+            PlutoScheduler,
+            SchedulerOptions,
+            mark_parallelism,
+            tile_schedule,
+        )
+        from repro.codegen import generate_python
+        from repro.deps import DependenceGraph
+
+        p = parse_program(GEMM, "gemm", params=("NI", "NJ", "NK"))
+        ddg = DependenceGraph(p, compute_dependences(p))
+        s = PlutoScheduler(p, ddg, SchedulerOptions()).schedule()
+        mark_parallelism(s, ddg)
+
+        def emit():
+            ts = tile_schedule(s, tile_size=32)
+            return generate_python(ts).python_source
+
+        src = benchmark.pedantic(emit, rounds=3, iterations=1)
+        assert "def kernel" in src

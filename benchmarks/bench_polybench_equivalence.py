@@ -1,0 +1,76 @@
+"""Section 4.2 claim: on Polybench, Pluto+ finds the same (or equivalent)
+transformations as Pluto, hence the same performance.
+
+For every Polybench kernel in the compile set, both pipelines run and the
+resulting schedules are compared *structurally*: number of bands, band
+widths, per-level parallelism pattern, and per-statement coefficient
+magnitudes (Pluto+ may mirror a loop — an equivalent transformation — so
+signs are compared as absolute values).
+"""
+
+import pytest
+
+from benchmarks._shared import compile_workloads, optimize_cached
+
+_MATCH: list[tuple[str, bool]] = []
+
+
+def _structure(result):
+    sched = result.schedule
+    bands = sorted((b.width, b.permutable) for b in sched.bands)
+    pattern = []
+    for row in sched.rows:
+        if row.kind != "loop":
+            pattern.append("scalar")
+            continue
+        mags = tuple(
+            tuple(abs(c) for c in row.coeff_rows(st_))
+            for st_ in result.program.statements
+        )
+        pattern.append((bool(row.parallel), mags))
+    return bands, pattern
+
+
+def _polybench():
+    return [
+        pytest.param(w, id=w.name)
+        for w in compile_workloads()
+        if w.category == "polybench"
+    ]
+
+
+@pytest.mark.parametrize("workload", _polybench())
+def test_equivalent_transformations(workload, benchmark):
+    def run():
+        return (
+            optimize_cached(workload, "pluto"),
+            optimize_cached(workload, "plutoplus"),
+        )
+
+    pluto, plus = benchmark.pedantic(run, rounds=1, iterations=1)
+    bands_a, pattern_a = _structure(pluto)
+    bands_b, pattern_b = _structure(plus)
+    same_bands = bands_a == bands_b
+    same_pattern = pattern_a == pattern_b
+    _MATCH.append((workload.name, same_bands and same_pattern))
+    print(
+        f"\n{workload.name}: bands equal: {same_bands}, "
+        f"level pattern equal: {same_pattern}"
+    )
+    # Band structure equality is the load-bearing part of the claim (it is
+    # what determines tiling and parallelization); exact per-level magnitude
+    # equality is reported but not asserted (distinct-yet-equivalent
+    # solutions of equal cost exist for a few kernels).
+    assert same_bands, f"{workload.name}: band structures diverge"
+
+
+def test_equivalence_summary(benchmark):
+    benchmark(lambda: len(_MATCH))  # keeps the summary in --benchmark-only runs
+    if not _MATCH:
+        pytest.skip("row benches did not run")
+    same = sum(1 for _, ok in _MATCH if ok)
+    print(
+        f"\nPolybench structural equivalence: {same}/{len(_MATCH)} kernels "
+        f"identical level-by-level; all have identical band structure "
+        f"(paper: same or equivalent transformations on all of Polybench)"
+    )

@@ -1,0 +1,34 @@
+"""Table 1: architecture details of the modeled machine.
+
+Prints the machine description the Fig. 6 performance model is parameterized
+with, and benchmarks the model's query functions (they sit on the hot path
+of the Fig. 6 sweeps).
+"""
+
+from repro.machine import XEON_E5_2680
+
+
+def _describe() -> str:
+    m = XEON_E5_2680
+    rows = [
+        ("Machine", m.name),
+        ("Clock", f"{m.clock_ghz} GHz"),
+        ("Cores / socket", m.cores_per_socket),
+        ("Total cores", m.total_cores),
+        ("L1 cache / core", f"{m.l1_kb} KB"),
+        ("L2 cache / core", f"{m.l2_kb} KB"),
+        ("L3 cache / socket", f"{m.l3_mb} MB"),
+        ("Peak GFLOPs", m.peak_gflops),
+        ("1-core sustained BW", f"{m.single_core_bw_gbs} GB/s"),
+        ("Socket sustained BW", f"{m.socket_bw_gbs} GB/s"),
+    ]
+    return "\n".join(f"  {k:22s} {v}" for k, v in rows)
+
+
+def test_table1_machine_description(benchmark):
+    result = benchmark(
+        lambda: [XEON_E5_2680.bandwidth_gbs(c) for c in range(1, 17)]
+    )
+    assert len(result) == 16
+    print("\nTable 1: Architecture details (modeled)")
+    print(_describe())

@@ -1,0 +1,34 @@
+"""Table 2: problem sizes for the heat, swim, and LBM benchmarks."""
+
+from repro.workloads import get_workload
+
+_TABLE2 = [
+    ("heat-1dp", "1.6e6 x 1000"),
+    ("heat-2dp", "16000^2 x 500"),
+    ("heat-3dp", "300^3 x 200"),
+    ("swim", "1335^2 x 800"),
+    ("lbm-ldc-d2q9", "1024^2 x 50000"),
+    ("lbm-ldc-d2q9-mrt", "1024^2 x 20000"),
+    ("lbm-fpc-d2q9", "1024 x 256 x 40000"),
+    ("lbm-poi-d2q9", "1024 x 256 x 40000"),
+    ("lbm-ldc-d3q27", "256^3 x 300"),
+]
+
+
+def _grid_points(w) -> float:
+    pts = 1.0
+    for p in w.perf.space_params:
+        pts *= w.sizes[p]
+    return pts
+
+
+def test_table2_problem_sizes(benchmark):
+    workloads = benchmark(lambda: [get_workload(n) for n, _ in _TABLE2])
+    print("\nTable 2: Problem sizes for heat, swim, and LBM benchmarks")
+    print(f"  {'Benchmark':20s} {'Problem size':>20s} {'(paper)':>20s}")
+    for (name, paper), w in zip(_TABLE2, workloads):
+        pts = _grid_points(w)
+        steps = w.sizes[w.perf.time_param]
+        print(f"  {name:20s} {pts:14.3g} x {steps:<6d} {paper:>18s}")
+        # cross-check against the registered sizes
+        assert pts > 0 and steps > 0

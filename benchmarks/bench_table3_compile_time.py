@@ -1,0 +1,85 @@
+"""Table 3: polyhedral compilation time, Pluto vs Pluto+.
+
+For every benchmark the harness runs the full source-to-source pipeline
+under both algorithms and reports, like the paper: automatic transformation
+time, total polyhedral compilation time, and the Pluto+ / Pluto factors with
+geometric means over the Polybench and periodic halves of the table.
+
+Shape expectations (Section 4.1): the overall factor on Polybench stays
+modest; the periodic suite's factor is larger and dominated by *code
+generation* of the non-trivial transformed programs, not by the ILP.
+"""
+
+import math
+
+import pytest
+
+from benchmarks._shared import compile_workloads, optimize_cached
+
+_ROWS: list[dict] = []
+
+
+def _workload_params():
+    return [pytest.param(w, id=w.name) for w in compile_workloads()]
+
+
+@pytest.mark.parametrize("workload", _workload_params())
+def test_table3_row(workload, benchmark):
+    """One Table 3 row: run both pipelines once, record the timings."""
+
+    def run_both():
+        return (
+            optimize_cached(workload, "pluto"),
+            optimize_cached(workload, "plutoplus"),
+        )
+
+    pluto, plus = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    row = {
+        "name": workload.name,
+        "category": workload.category,
+        "pluto_auto": pluto.timing.auto_transformation,
+        "plus_auto": plus.timing.auto_transformation,
+        "pluto_total": pluto.timing.total,
+        "plus_total": plus.timing.total,
+    }
+    _ROWS.append(row)
+    assert pluto.schedule.depth >= 1 and plus.schedule.depth >= 1
+
+
+def _geomean(values):
+    values = [v for v in values if v > 0]
+    return math.exp(sum(math.log(v) for v in values) / len(values)) if values else 0.0
+
+
+def test_table3_report(benchmark):
+    """Print the assembled table (depends on the row benches above)."""
+    benchmark(lambda: len(_ROWS))  # trivial; keeps the report in --benchmark-only runs
+    if not _ROWS:
+        pytest.skip("row benches did not run")
+    print("\nTable 3: Impact on polyhedral compilation time (seconds)")
+    header = (
+        f"  {'Benchmark':20s} {'auto(P)':>8s} {'auto(P+)':>9s} "
+        f"{'total(P)':>9s} {'total(P+)':>10s} {'f-auto':>7s} {'f-total':>8s}"
+    )
+    for category in ("polybench", "periodic"):
+        rows = [r for r in _ROWS if r["category"] == category]
+        if not rows:
+            continue
+        print(f"  --- {category} ---")
+        print(header)
+        for r in rows:
+            fa = r["plus_auto"] / r["pluto_auto"] if r["pluto_auto"] > 0 else float("nan")
+            ft = r["plus_total"] / r["pluto_total"] if r["pluto_total"] > 0 else float("nan")
+            print(
+                f"  {r['name']:20s} {r['pluto_auto']:8.3f} {r['plus_auto']:9.3f} "
+                f"{r['pluto_total']:9.3f} {r['plus_total']:10.3f} {fa:7.2f} {ft:8.2f}"
+            )
+        ga = _geomean(
+            [r["plus_auto"] / r["pluto_auto"] for r in rows if r["pluto_auto"] > 0]
+        )
+        gt = _geomean(
+            [r["plus_total"] / r["pluto_total"] for r in rows if r["pluto_total"] > 0]
+        )
+        print(f"  {'Mean (geometric)':20s} {'':8s} {'':9s} {'':9s} {'':10s} {ga:7.2f} {gt:8.2f}")
+        paper = (0.89, 1.15) if category == "polybench" else (0.62, 2.04)
+        print(f"  {'(paper)':20s} {'':8s} {'':9s} {'':9s} {'':10s} {paper[0]:7.2f} {paper[1]:8.2f}")

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The primary metadata lives in ``pyproject.toml``; this file exists so that
+``pip install -e .`` works on environments whose setuptools/pip combination
+cannot build PEP-660 editable wheels (e.g. offline boxes without the
+``wheel`` package installed).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,34 @@
+"""pluto-plus-repro: a from-scratch reproduction of
+
+    PLUTO+: Near-Complete Modeling of Affine Transformations for
+    Parallelism and Locality.  Acharya & Bondhugula, PPoPP 2015.
+
+Top-level convenience API::
+
+    from repro import optimize, parse_program, PipelineOptions
+
+    program = parse_program(source, "name", params=("N",))
+    result = optimize(program, PipelineOptions(algorithm="plutoplus"))
+    print(result.schedule.pretty())
+    result.code.run(arrays, params)
+
+Sub-packages: :mod:`repro.polyhedra` (integer sets), :mod:`repro.ilp`
+(lexmin ILP), :mod:`repro.frontend` (IR/builder/parser), :mod:`repro.deps`
+(dependence analysis), :mod:`repro.core` (the Pluto/Pluto+ schedulers, ISS,
+diamond tiling), :mod:`repro.codegen`, :mod:`repro.runtime`,
+:mod:`repro.machine`, :mod:`repro.workloads`, :mod:`repro.apps`.
+"""
+
+from repro.frontend import ProgramBuilder, parse_program
+from repro.pipeline import OptimizationResult, PipelineOptions, optimize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OptimizationResult",
+    "PipelineOptions",
+    "ProgramBuilder",
+    "__version__",
+    "optimize",
+    "parse_program",
+]

@@ -1,0 +1,59 @@
+"""Reference periodic heat-equation solvers (1-d/2-d/3-d), numpy-vectorized.
+
+These are the *applications* the heat-1dp/2dp/3dp benchmarks model: explicit
+Jacobi updates on periodic grids, written the way a numerical programmer
+would (whole-array operations, views over copies, in-place accumulation into
+a preallocated output plane — see the repository's performance notes).
+
+The polyhedral models in :mod:`repro.workloads.periodic` use the same update
+coefficients, so a model run through the compiler can be cross-checked
+against these solvers point-for-point (tests do exactly that).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["step_1d", "step_2d", "step_3d", "run_heat"]
+
+
+def step_1d(u: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """One periodic 3-point update: ``0.125*left + 0.75*c + 0.125*right``."""
+    np.multiply(u, 0.75, out=out)
+    out += 0.125 * np.roll(u, 1)
+    out += 0.125 * np.roll(u, -1)
+    return out
+
+
+def step_2d(u: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """One periodic 5-point update matching the heat-2dp model."""
+    np.multiply(u, 0.5, out=out)
+    for axis in (0, 1):
+        out += 0.125 * np.roll(u, 1, axis=axis)
+        out += 0.125 * np.roll(u, -1, axis=axis)
+    return out
+
+
+def step_3d(u: np.ndarray, out: np.ndarray) -> np.ndarray:
+    """One periodic 7-point update matching the heat-3dp model."""
+    np.multiply(u, 0.4, out=out)
+    for axis in (0, 1, 2):
+        out += 0.1 * np.roll(u, 1, axis=axis)
+        out += 0.1 * np.roll(u, -1, axis=axis)
+    return out
+
+
+_STEPPERS = {1: step_1d, 2: step_2d, 3: step_3d}
+
+
+def run_heat(u0: np.ndarray, steps: int) -> np.ndarray:
+    """Advance ``u0`` by ``steps`` periodic heat updates (double-buffered)."""
+    if u0.ndim not in _STEPPERS:
+        raise ValueError(f"unsupported dimensionality {u0.ndim}")
+    step = _STEPPERS[u0.ndim]
+    cur = np.array(u0, dtype=np.float64)
+    nxt = np.empty_like(cur)
+    for _ in range(steps):
+        step(cur, nxt)
+        cur, nxt = nxt, cur
+    return cur

@@ -1,0 +1,109 @@
+"""A D3Q27 Lattice Boltzmann solver (BGK), fully periodic or cavity flow.
+
+The 27-velocity set covers every lattice direction in ``{-1,0,1}^3`` — the
+dependence pattern modeled (cone-reduced) by ``lbm-ldc-d3q27`` in
+:mod:`repro.workloads.lbm`.  Arrays have shape ``(27, NZ, NY, NX)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["D3Q27", "LidDrivenCavity3D"]
+
+
+def _velocity_set() -> tuple[np.ndarray, np.ndarray]:
+    vels = np.array(
+        [(cx, cy, cz) for cz in (0, 1, -1) for cy in (0, 1, -1) for cx in (0, 1, -1)]
+    )
+    weights = np.empty(27)
+    for q, (cx, cy, cz) in enumerate(vels):
+        n = abs(cx) + abs(cy) + abs(cz)
+        weights[q] = {0: 8 / 27, 1: 2 / 27, 2: 1 / 54, 3: 1 / 216}[n]
+    return vels, weights
+
+
+def _opposites(c: np.ndarray) -> np.ndarray:
+    return np.array(
+        [int(np.flatnonzero((c == -c[q]).all(axis=1))[0]) for q in range(len(c))]
+    )
+
+
+class D3Q27:
+    C, W = _velocity_set()
+    Q = 27
+    OPPOSITE = _opposites(C)
+
+    @classmethod
+    def equilibrium(cls, rho, ux, uy, uz):
+        cu = (
+            cls.C[:, 0, None, None, None] * ux[None]
+            + cls.C[:, 1, None, None, None] * uy[None]
+            + cls.C[:, 2, None, None, None] * uz[None]
+        )
+        usq = ux * ux + uy * uy + uz * uz
+        return (
+            cls.W[:, None, None, None]
+            * rho[None]
+            * (1.0 + 3.0 * cu + 4.5 * cu * cu - 1.5 * usq[None])
+        )
+
+
+@dataclass
+class LidDrivenCavity3D:
+    n: int
+    tau: float = 0.6
+    u_lid: float = 0.05
+    f: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        shape = (self.n, self.n, self.n)
+        rho = np.ones(shape)
+        zero = np.zeros(shape)
+        self.f = D3Q27.equilibrium(rho, zero, zero, zero)
+
+    def macroscopic(self):
+        rho = self.f.sum(axis=0)
+        ux = (D3Q27.C[:, 0, None, None, None] * self.f).sum(axis=0) / rho
+        uy = (D3Q27.C[:, 1, None, None, None] * self.f).sum(axis=0) / rho
+        uz = (D3Q27.C[:, 2, None, None, None] * self.f).sum(axis=0) / rho
+        return rho, ux, uy, uz
+
+    def collide(self) -> None:
+        rho, ux, uy, uz = self.macroscopic()
+        feq = D3Q27.equilibrium(rho, ux, uy, uz)
+        self.f += (feq - self.f) / self.tau
+
+    def stream(self) -> None:
+        for q in range(D3Q27.Q):
+            cx, cy, cz = D3Q27.C[q]
+            self.f[q] = np.roll(self.f[q], (int(cz), int(cy), int(cx)), axis=(0, 1, 2))
+
+    def boundaries(self) -> None:
+        f = self.f
+        # no-slip on five faces (z=0 bottom, y walls, x walls)
+        for q in range(D3Q27.Q):
+            opp = D3Q27.OPPOSITE[q]
+            f[opp, 0, :, :] = f[q, 0, :, :]
+            f[opp, :, 0, :] = f[q, :, 0, :]
+            f[opp, :, -1, :] = f[q, :, -1, :]
+            f[opp, :, :, 0] = f[q, :, :, 0]
+            f[opp, :, :, -1] = f[q, :, :, -1]
+        # moving lid at z = n-1, along +x
+        rho_wall = f[:, -1, :, :].sum(axis=0)
+        for q in range(D3Q27.Q):
+            opp = D3Q27.OPPOSITE[q]
+            corr = 6.0 * D3Q27.W[q] * rho_wall * D3Q27.C[q, 0] * self.u_lid
+            f[opp, -1, :, :] = f[q, -1, :, :] - corr
+
+    def step(self) -> None:
+        self.collide()
+        self.stream()
+        self.boundaries()
+
+    def run(self, steps: int) -> np.ndarray:
+        for _ in range(steps):
+            self.step()
+        return self.f

@@ -1,0 +1,130 @@
+"""Shallow-water equations on a periodic grid (the swim benchmark [33, 35]).
+
+Sadourny's potential-enstrophy-conserving finite-difference scheme: each time
+step computes mass fluxes CU/CV, potential vorticity Z, and height H from
+(U, V, P), then leapfrogs to (UNEW, VNEW, PNEW), then applies Robert-Asselin
+time smoothing — the calc1/calc2/calc3 structure of 171.swim, which
+:mod:`repro.workloads.swim` presents to the compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["ShallowWater"]
+
+
+def _xp(a: np.ndarray) -> np.ndarray:
+    return np.roll(a, -1, axis=0)     # i + 1 (periodic)
+
+
+def _xm(a: np.ndarray) -> np.ndarray:
+    return np.roll(a, 1, axis=0)      # i - 1
+
+
+def _yp(a: np.ndarray) -> np.ndarray:
+    return np.roll(a, -1, axis=1)     # j + 1
+
+
+def _ym(a: np.ndarray) -> np.ndarray:
+    return np.roll(a, 1, axis=1)      # j - 1
+
+
+@dataclass
+class ShallowWater:
+    n: int
+    dx: float = 1e5
+    dy: float = 1e5
+    dt: float = 90.0
+    alpha: float = 0.001
+    u: np.ndarray = field(init=False, repr=False)
+    v: np.ndarray = field(init=False, repr=False)
+    p: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # swim's initial condition: a doubly periodic velocity potential
+        n = self.n
+        a = 1e6
+        el = n * self.dx
+        pcf = (np.pi**2) * (a**2) / (el**2)
+        x = np.arange(n) * self.dx
+        y = np.arange(n) * self.dy
+        psi = (
+            a
+            * np.sin((x[:, None] + 0.5 * self.dx) * np.pi / el)
+            * np.sin((y[None, :] + 0.5 * self.dy) * np.pi / el)
+        )
+        self.u = -(np.roll(psi, -1, axis=1) - psi) / self.dy
+        self.v = (np.roll(psi, -1, axis=0) - psi) / self.dx
+        self.p = pcf * (
+            np.cos(2.0 * x[:, None] * np.pi / el)
+            + np.cos(2.0 * y[None, :] * np.pi / el)
+        ) + 50000.0
+        self._uold = self.u.copy()
+        self._vold = self.v.copy()
+        self._pold = self.p.copy()
+
+    # -- the three sweeps --------------------------------------------------
+
+    def calc1(self):
+        """Fluxes, potential vorticity, height (swim's calc1, transcribed
+        with CU/CV/Z stored at their staggered-shifted indices)."""
+        u, v, p = self.u, self.v, self.p
+        fsdx = 4.0 / self.dx
+        fsdy = 4.0 / self.dy
+        cu = 0.5 * (p + _xm(p)) * u
+        cv = 0.5 * (p + _ym(p)) * v
+        z = (fsdx * (v - _xm(v)) - fsdy * (u - _ym(u))) / (
+            p + _xm(p) + _ym(p) + _xm(_ym(p))
+        )
+        h = p + 0.25 * (_xp(u) * _xp(u) + u * u + _yp(v) * _yp(v) + v * v)
+        return cu, cv, z, h
+
+    def calc2(self, cu, cv, z, h, tdt):
+        """Leapfrog update (swim's calc2, with the 4-point flux averages of
+        the potential-enstrophy-conserving scheme [33])."""
+        tdts8 = tdt / 8.0
+        tdtsdx = tdt / self.dx
+        tdtsdy = tdt / self.dy
+        unew = (
+            self._uold
+            + tdts8 * (_yp(z) + z) * (_yp(cv) + _xm(_yp(cv)) + _xm(cv) + cv)
+            - tdtsdx * (h - _xm(h))
+        )
+        vnew = (
+            self._vold
+            - tdts8 * (_xp(z) + z) * (_xp(cu) + cu + _ym(cu) + _xp(_ym(cu)))
+            - tdtsdy * (h - _ym(h))
+        )
+        pnew = (
+            self._pold
+            - tdtsdx * (_xp(cu) - cu)
+            - tdtsdy * (_yp(cv) - cv)
+        )
+        return unew, vnew, pnew
+
+    def calc3(self, unew, vnew, pnew):
+        a = self.alpha
+        self._uold = self.u + a * (unew - 2.0 * self.u + self._uold)
+        self._vold = self.v + a * (vnew - 2.0 * self.v + self._vold)
+        self._pold = self.p + a * (pnew - 2.0 * self.p + self._pold)
+        self.u, self.v, self.p = unew, vnew, pnew
+
+    def step(self, first: bool = False) -> None:
+        tdt = self.dt if first else 2.0 * self.dt
+        cu, cv, z, h = self.calc1()
+        unew, vnew, pnew = self.calc2(cu, cv, z, h, tdt)
+        self.calc3(unew, vnew, pnew)
+
+    def run(self, steps: int) -> None:
+        for it in range(steps):
+            self.step(first=(it == 0))
+
+    def diagnostics(self) -> dict[str, float]:
+        return {
+            "mass": float(self.p.mean()),
+            "ke": float(0.5 * np.mean(self.u**2 + self.v**2)),
+            "umax": float(np.abs(self.u).max()),
+        }

@@ -1,0 +1,193 @@
+"""Command-line driver, in the spirit of Pluto's ``polycc``.
+
+Usage::
+
+    python -m repro opt kernel.c --params N M --algorithm plutoplus \
+        --tile 32 --iss --diamond [--emit c|py|schedule] [-o out.c]
+    python -m repro opt --workload heat-1dp --algorithm pluto
+    python -m repro verify --workload heat-1dp --algorithm plutoplus
+    python -m repro deps kernel.c --params N
+    python -m repro list
+
+``opt`` parses an affine C-like loop nest (or loads a registered workload),
+runs the full pipeline, and emits the transformed code; ``verify`` runs the
+independent legality checker on the computed schedule; ``deps`` prints the
+dependence analysis; ``list`` enumerates registered workloads.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.codegen import generate_c
+from repro.frontend import parse_program
+from repro.frontend.ir import Program
+from repro.pipeline import PipelineOptions, optimize
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Pluto+ reproduction: polyhedral source-to-source optimizer",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input_args(p):
+        p.add_argument("source", nargs="?", help="C-like loop nest file")
+        p.add_argument("--workload", help="registered workload name instead of a file")
+        p.add_argument("--params", nargs="*", default=[], help="program parameters")
+        p.add_argument(
+            "--param-min", type=int, default=2,
+            help="context lower bound on every parameter (default 2)",
+        )
+
+    opt = sub.add_parser("opt", help="optimize a loop nest")
+    add_input_args(opt)
+    opt.add_argument("--algorithm", choices=("pluto", "plutoplus"), default="plutoplus")
+    opt.add_argument("--tile", type=int, default=32, metavar="SIZE",
+                     help="tile size (0 disables tiling)")
+    opt.add_argument("--iss", action="store_true", help="enable index-set splitting")
+    opt.add_argument("--diamond", action="store_true",
+                     help="enable diamond tiling (--partlbtile)")
+    opt.add_argument("--bound", type=int, default=4, help="Pluto+ coefficient bound b")
+    opt.add_argument("--fuse", choices=("smart", "max", "no"), default="smart")
+    opt.add_argument("--l2tile", action="store_true", help="second-level tiling")
+    opt.add_argument("--intra-tile", action="store_true",
+                     help="rotate a parallel loop innermost in point bands")
+    opt.add_argument("--emit", choices=("c", "py", "schedule"), default="c")
+    opt.add_argument("-o", "--output", help="write emitted code to a file")
+
+    ver = sub.add_parser("verify", help="verify schedule legality independently")
+    add_input_args(ver)
+    ver.add_argument("--algorithm", choices=("pluto", "plutoplus"), default="plutoplus")
+    ver.add_argument("--iss", action="store_true")
+    ver.add_argument("--diamond", action="store_true")
+
+    deps = sub.add_parser("deps", help="print dependence analysis")
+    add_input_args(deps)
+
+    sub.add_parser("list", help="list registered workloads")
+    return parser
+
+
+def _load_program(args) -> Program:
+    if args.workload:
+        from repro.workloads import get_workload
+
+        w = get_workload(args.workload)
+        # carry the workload's pipeline flags unless the user set their own
+        if hasattr(args, "iss") and not args.iss:
+            args.iss = w.iss
+        if hasattr(args, "diamond") and not args.diamond:
+            args.diamond = w.diamond
+        return w.program()
+    if not args.source:
+        raise SystemExit("either a source file or --workload is required")
+    text = Path(args.source).read_text()
+    name = Path(args.source).stem
+    return parse_program(text, name, params=tuple(args.params), param_min=args.param_min)
+
+
+def _pipeline_options(args) -> PipelineOptions:
+    return PipelineOptions(
+        algorithm=args.algorithm,
+        tile=getattr(args, "tile", 32) != 0,
+        tile_size=getattr(args, "tile", 32) or 32,
+        iss=getattr(args, "iss", False),
+        diamond=getattr(args, "diamond", False),
+        coeff_bound=getattr(args, "bound", 4),
+        fuse=getattr(args, "fuse", "smart"),
+        l2tile=getattr(args, "l2tile", False),
+        intra_tile=getattr(args, "intra_tile", False),
+    )
+
+
+def _cmd_opt(args) -> int:
+    program = _load_program(args)
+    result = optimize(program, _pipeline_options(args))
+    print(f"# {program.name}: {args.algorithm}", file=sys.stderr)
+    print(f"# ISS: {result.used_iss}, diamond: {result.used_diamond}", file=sys.stderr)
+    print(f"# timing: {result.timing.as_dict()}", file=sys.stderr)
+    if args.emit == "schedule":
+        out = result.schedule.pretty() + "\n"
+    elif args.emit == "py":
+        out = result.code.python_source
+    else:
+        out = generate_c(result.tiled)
+    if args.output:
+        Path(args.output).write_text(out)
+        print(f"# wrote {args.output}", file=sys.stderr)
+    else:
+        print(out)
+    return 0
+
+
+def _cmd_verify(args) -> int:
+    from repro.core.verify import verify_schedule
+    from repro.deps import DependenceGraph, compute_dependences
+
+    program = _load_program(args)
+    result = optimize(program, _pipeline_options_noemit(args))
+    ddg = DependenceGraph(
+        result.program, compute_dependences(result.program)
+    )
+    report = verify_schedule(result.schedule, ddg)
+    print(report)
+    return 0 if report.legal else 1
+
+
+def _pipeline_options_noemit(args) -> PipelineOptions:
+    return PipelineOptions(
+        algorithm=args.algorithm,
+        iss=getattr(args, "iss", False),
+        diamond=getattr(args, "diamond", False),
+    )
+
+
+def _cmd_deps(args) -> int:
+    from repro.deps import compute_dependences
+
+    program = _load_program(args)
+    deps = compute_dependences(program)
+    print(f"{len(deps)} dependences:")
+    for d in deps:
+        vec = d.distance_vector()
+        extra = f" distance {vec}" if vec else " (non-uniform)"
+        print(f"  {d}{extra}")
+    return 0
+
+
+def _cmd_list(_args) -> int:
+    from repro.workloads import all_workloads
+
+    for w in all_workloads():
+        flags = []
+        if w.iss:
+            flags.append("iss")
+        if w.diamond:
+            flags.append("diamond")
+        tail = f" [{', '.join(flags)}]" if flags else ""
+        print(f"{w.name:26s} {w.category:10s}{tail}")
+    return 0
+
+
+_COMMANDS = {
+    "opt": _cmd_opt,
+    "verify": _cmd_verify,
+    "deps": _cmd_deps,
+    "list": _cmd_list,
+}
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,17 @@
+"""Code generation from (tiled) schedules — the CLooG-role substrate."""
+
+from repro.codegen.c_emit import generate_c
+from repro.codegen.original import original_schedule
+from repro.codegen.python_emit import GeneratedCode, generate_python
+from repro.codegen.scan import Bound, ScanSystem, build_scan_systems, z_name
+
+__all__ = [
+    "Bound",
+    "GeneratedCode",
+    "ScanSystem",
+    "build_scan_systems",
+    "generate_c",
+    "generate_python",
+    "original_schedule",
+    "z_name",
+]

@@ -1,0 +1,114 @@
+"""Emit C-like source (with OpenMP pragmas) from a tiled schedule.
+
+The Python emitter (:mod:`repro.codegen.python_emit`) produces the kernel
+the validation runtime executes; this emitter renders the same scanning
+structure as the C a Pluto-style source-to-source tool would hand to icc —
+``#pragma omp parallel for`` on parallel dimensions, ``ceild/floord`` bound
+macros, and the statements' original C bodies.  It exists for inspection,
+examples, and documentation; it is not compiled by the test suite.
+"""
+
+from __future__ import annotations
+
+from repro.codegen.emit_common import merge_bounds, render_lower, render_upper
+from repro.codegen.scan import build_scan_systems, z_name
+from repro.core.tiling import TiledSchedule
+from repro.frontend.ir import Statement
+
+__all__ = ["generate_c"]
+
+_HEADER = """\
+#define ceild(n, d) (((n) > 0) ? (1 + ((n) - 1) / (d)) : -((-(n)) / (d)))
+#define floord(n, d) (((n) > 0) ? (n) / (d) : -((-(n) + (d) - 1) / (d)))
+#define max(a, b) ((a) > (b) ? (a) : (b))
+#define min(a, b) ((a) < (b) ? (a) : (b))
+"""
+
+
+class _CEmitter:
+    def __init__(self, tsched: TiledSchedule):
+        self.tsched = tsched
+        self.program = tsched.program
+        self.systems = {s.stmt.name: s for s in build_scan_systems(tsched)}
+        self.lines: list[str] = []
+
+    def line(self, indent: int, text: str) -> None:
+        self.lines.append("  " * indent + text)
+
+    def emit(self) -> str:
+        self.lines.append(_HEADER)
+        self.line(0, f"/* {self.program.name}: generated scanning code */")
+        if not self.program.statements:
+            return "\n".join(self.lines) + "\n"
+        self.emit_level(0, list(self.program.statements), 0)
+        return "\n".join(self.lines) + "\n"
+
+    def emit_level(self, level: int, stmts, indent: int) -> None:
+        if level == self.tsched.depth:
+            for s in self.program.statements:
+                if s in stmts:
+                    self.emit_statement(s, indent)
+            return
+        row = self.tsched.rows[level]
+        zv = z_name(level)
+        if row.kind == "scalar":
+            groups: dict[int, list] = {}
+            for s in stmts:
+                groups.setdefault(row.expr_for(s).const_term, []).append(s)
+            for value in sorted(groups):
+                self.line(indent, f"/* {zv} = {value} */")
+                self.emit_level(level + 1, groups[value], indent)
+            return
+        lowers, uppers = [], []
+        for s in stmts:
+            lo, up = self.systems[s.name].z_bounds(level)
+            lowers.append(
+                merge_bounds([render_lower(b, "c") for b in lo], "max", "c")
+            )
+            uppers.append(
+                merge_bounds([render_upper(b, "c") for b in up], "min", "c")
+            )
+        lb = merge_bounds(lowers, "min", "c")
+        ub = merge_bounds(uppers, "max", "c")
+        if row.parallel:
+            self.line(indent, "#pragma omp parallel for")
+        self.line(
+            indent,
+            f"for (int {zv} = {lb}; {zv} <= {ub}; {zv}++) {{",
+        )
+        self.emit_level(level + 1, stmts, indent + 1)
+        self.line(indent, "}")
+
+    def emit_statement(self, stmt: Statement, indent: int) -> None:
+        sys = self.systems[stmt.name]
+        cur = indent
+        closes = 0
+        if len(self.program.statements) > 1:
+            from repro.codegen.emit_common import render_expr
+
+            conds = []
+            for con in sys.z_guards():
+                op = "==" if con.equality else ">="
+                conds.append(f"({render_expr(con.expr)}) {op} 0")
+            conds = list(dict.fromkeys(conds))
+            if conds:
+                self.line(cur, f"if ({' && '.join(conds)}) {{")
+                cur += 1
+                closes += 1
+        for k, it in enumerate(stmt.space.dims):
+            lo, up = sys.iter_bounds(k)
+            lb = merge_bounds([render_lower(b, "c") for b in lo], "max", "c")
+            ub = merge_bounds([render_upper(b, "c") for b in up], "min", "c")
+            self.line(cur, f"for (int {it} = {lb}; {it} <= {ub}; {it}++) {{")
+            cur += 1
+            closes += 1
+        body = stmt.text or stmt.body
+        self.line(cur, f"{body};" if not body.rstrip().endswith(";") else body)
+        for c in range(closes):
+            cur -= 1
+            self.line(cur, "}")
+
+
+def generate_c(tsched: TiledSchedule) -> str:
+    """Render ``tsched`` as C-like source with OpenMP annotations."""
+    return _CEmitter(tsched).emit()

@@ -1,0 +1,80 @@
+"""Shared expression/bounds rendering for the Python and C emitters."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.codegen.scan import Bound
+from repro.polyhedra import AffExpr
+
+__all__ = ["render_expr", "render_lower", "render_upper", "merge_bounds"]
+
+
+def render_expr(e: AffExpr) -> str:
+    """Affine expression as source text (valid in both Python and C)."""
+    parts: list[str] = []
+    for i, name in enumerate(e.space.names):
+        c = e.coeffs[i]
+        if c == 0:
+            continue
+        if c == 1:
+            term = name
+        elif c == -1:
+            term = f"-{name}"
+        else:
+            term = f"{c}*{name}"
+        if parts and not term.startswith("-"):
+            parts.append(f"+ {term}")
+        elif parts:
+            parts.append(f"- {term[1:]}")
+        else:
+            parts.append(term)
+    const = e.coeffs[-1]
+    if const or not parts:
+        if parts:
+            parts.append(f"+ {const}" if const >= 0 else f"- {-const}")
+        else:
+            parts.append(str(const))
+    return " ".join(parts)
+
+
+def render_lower(b: Bound, lang: str = "py") -> str:
+    """``ceil(expr / div)`` as source text (floor-division based)."""
+    inner = render_expr(b.expr)
+    if b.div == 1:
+        return inner
+    if lang == "py":
+        return f"-((-({inner})) // {b.div})"
+    return f"ceild({inner}, {b.div})"
+
+
+def render_upper(b: Bound, lang: str = "py") -> str:
+    """``floor(expr / div)`` as source text."""
+    inner = render_expr(b.expr)
+    if b.div == 1:
+        return inner
+    if lang == "py":
+        return f"({inner}) // {b.div}"
+    return f"floord({inner}, {b.div})"
+
+
+def merge_bounds(
+    rendered: Sequence[str], outermost: str, lang: str = "py"
+) -> str:
+    """Combine several bound expressions with max/min.
+
+    ``outermost`` is ``"max"`` for lower bounds and ``"min"`` for uppers.
+    """
+    uniq = list(dict.fromkeys(rendered))
+    if not uniq:
+        raise ValueError("variable has no bound in this direction")
+    if len(uniq) == 1:
+        return uniq[0]
+    if lang == "py":
+        return f"{outermost}({', '.join(uniq)})"
+    # C: nested binary max/min helpers
+    out = uniq[0]
+    fn = outermost
+    for nxt in uniq[1:]:
+        out = f"{fn}({out}, {nxt})"
+    return out

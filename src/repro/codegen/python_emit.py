@@ -1,0 +1,179 @@
+"""Emit executable Python from a (tiled) schedule.
+
+The generated function has signature ``kernel(arrays, params)`` where
+``arrays`` maps array names to numpy ndarrays (0-d arrays for scalars) and
+``params`` maps parameter names to ints.  With ``trace=True`` the signature
+gains a ``__trace`` list that records ``(statement, iteration_vector)`` in
+execution order — the correctness harness uses it to verify that the
+transformed code executes every domain point exactly once and in a
+dependence-respecting order.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.codegen.emit_common import merge_bounds, render_lower, render_upper
+from repro.codegen.scan import ScanSystem, build_scan_systems, z_name
+from repro.core.tiling import TiledSchedule
+from repro.frontend.ir import Statement
+
+__all__ = ["GeneratedCode", "generate_python"]
+
+_EXEC_GLOBALS = {
+    "sqrt": math.sqrt,
+    "exp": math.exp,
+    "log": math.log,
+    "sin": math.sin,
+    "cos": math.cos,
+    "tan": math.tan,
+    "fabs": abs,
+    "abs": abs,
+    "pow": pow,
+    "floor": math.floor,
+    "ceil": math.ceil,
+    "fmin": min,
+    "fmax": max,
+    "min": min,
+    "max": max,
+    "range": range,
+}
+
+
+@dataclass
+class GeneratedCode:
+    """Compiled kernel plus its source and schedule metadata."""
+
+    python_source: str
+    tsched: TiledSchedule
+    traced: bool = False
+    _func: Optional[Callable] = field(default=None, repr=False)
+
+    @property
+    def function(self) -> Callable:
+        if self._func is None:
+            ns: dict = {}
+            exec(compile(self.python_source, "<repro-codegen>", "exec"),
+                 dict(_EXEC_GLOBALS), ns)
+            self._func = ns["kernel"]
+        return self._func
+
+    def run(self, arrays: dict, params: dict, trace: Optional[list] = None):
+        if self.traced:
+            return self.function(arrays, params, [] if trace is None else trace)
+        return self.function(arrays, params)
+
+
+class _Emitter:
+    def __init__(self, tsched: TiledSchedule, trace: bool):
+        self.tsched = tsched
+        self.program = tsched.program
+        self.trace = trace
+        self.systems = {
+            sys.stmt.name: sys for sys in build_scan_systems(tsched)
+        }
+        self.lines: list[str] = []
+
+    def line(self, indent: int, text: str) -> None:
+        self.lines.append("    " * indent + text)
+
+    def emit(self) -> str:
+        sig = "def kernel(arrays, params, __trace):" if self.trace else "def kernel(arrays, params):"
+        self.line(0, sig)
+        for p in self.program.params:
+            self.line(1, f"{p} = params['{p}']")
+        for a in sorted(self.program.arrays()):
+            self.line(1, f"{a} = arrays['{a}']")
+        if not self.program.statements:
+            self.line(1, "pass")
+            return "\n".join(self.lines) + "\n"
+        self.emit_level(0, list(self.program.statements), 1)
+        return "\n".join(self.lines) + "\n"
+
+    # -- recursion ---------------------------------------------------------------
+
+    def emit_level(self, level: int, stmts: list[Statement], indent: int) -> None:
+        if level == self.tsched.depth:
+            for s in self.program.statements:
+                if s in stmts:
+                    self.emit_statement(s, indent)
+            return
+        row = self.tsched.rows[level]
+        if row.kind == "scalar":
+            groups: dict[int, list[Statement]] = {}
+            for s in stmts:
+                groups.setdefault(row.expr_for(s).const_term, []).append(s)
+            for value in sorted(groups):
+                self.line(indent, f"{z_name(level)} = {value}")
+                self.emit_level(level + 1, groups[value], indent)
+            return
+
+        lowers: list[str] = []
+        uppers: list[str] = []
+        for s in stmts:
+            lo, up = self.systems[s.name].z_bounds(level)
+            if not lo or not up:
+                raise RuntimeError(
+                    f"unbounded scan dimension z{level} for {s.name}"
+                )
+            lowers.append(merge_bounds([render_lower(b) for b in lo], "max"))
+            uppers.append(merge_bounds([render_upper(b) for b in up], "min"))
+        # The loop covers the union: min of the lower bounds, max of uppers.
+        lb = merge_bounds(lowers, "min")
+        ub = merge_bounds(uppers, "max")
+        tag = ""
+        if row.parallel:
+            tag = "  # parallel"
+            if row.kind == "tile":
+                tag = "  # parallel (concurrent start)" if any(
+                    b.concurrent_start for b in self.tsched.bands
+                    if b.start <= level <= b.end
+                ) else "  # parallel"
+        self.line(indent, f"for {z_name(level)} in range({lb}, ({ub}) + 1):{tag}")
+        self.emit_level(level + 1, stmts, indent + 1)
+
+    def emit_statement(self, stmt: Statement, indent: int) -> None:
+        sys = self.systems[stmt.name]
+        cur = indent
+        # Statement-specific scan-dim guards (loop bounds cover the union of
+        # all statements; a statement whose schedule pins a level the others
+        # iterate over needs its own check).
+        if len(self.program.statements) > 1:
+            conds: list[str] = []
+            from repro.codegen.emit_common import render_expr
+
+            for con in sys.z_guards():
+                op = "==" if con.equality else ">="
+                conds.append(f"{render_expr(con.expr)} {op} 0")
+            conds = list(dict.fromkeys(conds))
+            if conds:
+                self.line(cur, f"if {' and '.join(conds)}:")
+                cur += 1
+        for k, it in enumerate(stmt.space.dims):
+            lo, up = sys.iter_bounds(k)
+            if not lo or not up:
+                raise RuntimeError(
+                    f"unbounded iterator {it} recovering {stmt.name}"
+                )
+            lb = merge_bounds([render_lower(b) for b in lo], "max")
+            ub = merge_bounds([render_upper(b) for b in up], "min")
+            self.line(cur, f"for {it} in range({lb}, ({ub}) + 1):")
+            cur += 1
+        if stmt.space.dims:
+            body_indent = cur
+        else:
+            body_indent = cur
+        self.line(body_indent, stmt.body)
+        if self.trace:
+            vec = ", ".join(stmt.space.dims)
+            vec = f"({vec},)" if stmt.space.dims else "()"
+            self.line(body_indent, f"__trace.append(('{stmt.name}', {vec}))")
+
+
+def generate_python(tsched: TiledSchedule, trace: bool = False) -> GeneratedCode:
+    """Generate an executable Python kernel scanning ``tsched``."""
+    emitter = _Emitter(tsched, trace)
+    source = emitter.emit()
+    return GeneratedCode(source, tsched, traced=trace)

@@ -1,0 +1,142 @@
+"""Polyhedra scanning: per-statement scan systems and loop bound extraction.
+
+The generator (CLooG's role) scans the *image* of each statement's domain
+under its transformation.  For a schedule of depth ``D`` a statement's scan
+system lives in the space ``(z0..z_{D-1}, original iterators; params)`` with
+
+* ``z_l == phi_l(iters)``                    for loop and scalar levels,
+* ``ts*z_l <= phi_l(iters) <= ts*z_l+ts-1``  for tile levels,
+
+plus the original domain constraints.  Loop bounds for ``z_l`` come from a
+Fourier–Motzkin projection onto ``z0..z_l``; the original iterators are
+recovered innermost as (usually unit-range) loops whose bounds come from the
+same system with all ``z`` outer.  This makes non-unimodular transformations
+(diamond tiling's determinant-2 pairs) and inter-statement guards correct by
+construction: infeasible combinations yield empty ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.tiling import TiledSchedule
+from repro.frontend.ir import Statement
+from repro.polyhedra import AffExpr, BasicSet, Constraint, Space
+
+__all__ = ["ScanSystem", "build_scan_systems", "Bound", "z_name"]
+
+
+def z_name(level: int) -> str:
+    return f"z{level}"
+
+
+@dataclass(frozen=True)
+class Bound:
+    """``var >= ceil(expr / div)`` or ``var <= floor(expr / div)``."""
+
+    expr: AffExpr
+    div: int
+
+
+class ScanSystem:
+    """Scan-space constraint system for one statement, with cached projections."""
+
+    def __init__(self, stmt: Statement, tsched: TiledSchedule):
+        self.stmt = stmt
+        self.depth = tsched.depth
+        z_dims = tuple(z_name(l) for l in range(self.depth))
+        for it in stmt.space.dims:
+            if it in z_dims:
+                raise ValueError(
+                    f"iterator name {it!r} collides with scan dimension names"
+                )
+        self.space = Space(z_dims + stmt.space.dims, stmt.space.params)
+        self.system = BasicSet(self.space)
+        for con in stmt.domain.constraints:
+            self.system.add(con.rebase(self.space))
+        for l, row in enumerate(tsched.rows):
+            phi = row.expr_for(stmt).rebase(self.space)
+            z = AffExpr.var(self.space, z_name(l))
+            if row.kind == "tile":
+                ts = row.tile_size
+                self.system.add(Constraint(phi - ts * z))            # phi >= ts*z
+                self.system.add(Constraint(ts * z + (ts - 1) - phi))  # phi <= ts*z+ts-1
+            else:
+                self.system.add(Constraint(z - phi, equality=True))
+        self._z_projections: list[BasicSet] | None = None
+        self._iter_projections: list[BasicSet] | None = None
+
+    # -- projections ------------------------------------------------------------
+
+    def _compute_z_projections(self) -> list[BasicSet]:
+        """``R[l]`` = system projected onto ``z0..z_l`` (+ params)."""
+        chain: list[BasicSet] = [None] * self.depth  # type: ignore[list-item]
+        current = self.system.project_out(list(self.stmt.space.dims))
+        for l in range(self.depth - 1, -1, -1):
+            chain[l] = current
+            if l > 0:
+                current = current.project_out([z_name(l)])
+        return chain
+
+    def _compute_iter_projections(self) -> list[BasicSet]:
+        """``T[k]`` = system with iterators deeper than ``k`` projected out."""
+        iters = self.stmt.space.dims
+        chain: list[BasicSet] = [None] * len(iters)  # type: ignore[list-item]
+        current = self.system
+        for k in range(len(iters) - 1, -1, -1):
+            chain[k] = current
+            if k > 0:
+                current = current.project_out([iters[k]])
+        return chain
+
+    def z_bounds(self, level: int) -> tuple[list[Bound], list[Bound]]:
+        """(lower, upper) bounds for ``z_level`` over outer z's and params."""
+        if self._z_projections is None:
+            self._z_projections = self._compute_z_projections()
+        proj = self._z_projections[level]
+        lowers, uppers = proj.bounds_for(z_name(level))
+        return (
+            [Bound(e, k) for e, k in lowers],
+            [Bound(e, k) for e, k in uppers],
+        )
+
+    def iter_bounds(self, k: int) -> tuple[list[Bound], list[Bound]]:
+        """(lower, upper) bounds for the statement's ``k``-th iterator over
+        all scan dims, outer iterators, and params."""
+        if self._iter_projections is None:
+            self._iter_projections = self._compute_iter_projections()
+        proj = self._iter_projections[k]
+        lowers, uppers = proj.bounds_for(self.stmt.space.dims[k])
+        return (
+            [Bound(e, k2) for e, k2 in lowers],
+            [Bound(e, k2) for e, k2 in uppers],
+        )
+
+    def z_guards(self):
+        """Constraints over the scan dims alone that gate this statement.
+
+        Loop bounds cover the *union* of all statements' scan ranges, and the
+        innermost iterator-recovery loops only enforce constraints that
+        involve iterators.  A constraint mentioning only ``z`` dims (e.g.
+        ``z2 == 0`` for a statement whose schedule is constant at a level
+        where another statement iterates) must therefore be re-checked as an
+        explicit guard.  Returns the constraints of the projection onto the
+        scan dims, minus parameter-only rows.
+        """
+        if self._z_projections is None:
+            self._z_projections = self._compute_z_projections()
+        proj = self._z_projections[self.depth - 1] if self.depth else None
+        if proj is None:
+            return []
+        out = []
+        for con in proj.constraints:
+            if any(
+                con.expr.coeff_of(z_name(l)) != 0 for l in range(self.depth)
+            ):
+                out.append(con)
+        return out
+
+
+def build_scan_systems(tsched: TiledSchedule) -> list[ScanSystem]:
+    return [ScanSystem(s, tsched) for s in tsched.program.statements]

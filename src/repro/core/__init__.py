@@ -1,0 +1,86 @@
+"""The paper's contribution: Pluto / Pluto+ affine scheduling and friends."""
+
+from repro.core.diamond import find_diamond_schedule
+from repro.core.farkas import (
+    bounding_constraints,
+    farkas_constraints,
+    legality_constraints,
+)
+from repro.core.iss import index_set_split, long_dependence_dims, needs_iss
+from repro.core.names import (
+    W_NAME,
+    c0_name,
+    c_name,
+    csum_name,
+    d_name,
+    delta_name,
+    deltal_name,
+    u_name,
+)
+from repro.core.ortho import (
+    orthogonal_basis_rows,
+    orthogonal_projector_rows,
+    pluto_independence_constraints,
+    plutoplus_independence_constraints,
+    plutoplus_nonzero_constraints,
+)
+from repro.core.properties import mark_parallelism
+from repro.core.scheduler import (
+    DEFAULT_COEFF_BOUND,
+    PlutoScheduler,
+    SchedulerError,
+    SchedulerOptions,
+    SchedulerStats,
+)
+from repro.core.tiling import (
+    DEFAULT_TILE_SIZE,
+    TiledRow,
+    TiledSchedule,
+    l2_tile_schedule,
+    optimize_intra_tile,
+    tile_schedule,
+    untiled_schedule,
+)
+from repro.core.transform import Band, Schedule, ScheduleRow
+from repro.core.verify import VerificationReport, verify_schedule
+
+__all__ = [
+    "Band",
+    "DEFAULT_COEFF_BOUND",
+    "DEFAULT_TILE_SIZE",
+    "PlutoScheduler",
+    "Schedule",
+    "ScheduleRow",
+    "SchedulerError",
+    "SchedulerOptions",
+    "SchedulerStats",
+    "TiledRow",
+    "TiledSchedule",
+    "W_NAME",
+    "bounding_constraints",
+    "c0_name",
+    "c_name",
+    "csum_name",
+    "d_name",
+    "delta_name",
+    "deltal_name",
+    "farkas_constraints",
+    "find_diamond_schedule",
+    "index_set_split",
+    "legality_constraints",
+    "long_dependence_dims",
+    "mark_parallelism",
+    "needs_iss",
+    "orthogonal_basis_rows",
+    "orthogonal_projector_rows",
+    "pluto_independence_constraints",
+    "plutoplus_independence_constraints",
+    "plutoplus_nonzero_constraints",
+    "tile_schedule",
+    "u_name",
+    "untiled_schedule",
+    "l2_tile_schedule",
+    "optimize_intra_tile",
+    "VerificationReport",
+    "verify_schedule",
+]

@@ -1,0 +1,59 @@
+"""Canonical ILP variable names for transformation coefficients.
+
+One hyperplane search builds a single ILP whose variables are, per statement
+``S`` with iterators ``i1..im`` and program parameters ``p1..pk``:
+
+* ``c.S.i``   — dimension coefficients (the ``c_i`` of eq. (1));
+* ``d.S.p``   — parametric shift coefficients (``d_i``);
+* ``c0.S``    — constant shift (``c_0``);
+* ``csum.S``  — sum of absolute dimension coefficients (Pluto+, Section 3.6);
+* ``dz.S``    — zero-avoidance decision variable ``delta_S`` (Section 3.3);
+* ``dl.S``    — linear-independence decision variable ``delta^l_S`` (3.4);
+
+plus the global bounding function ``u.p`` / ``w`` (eq. (3)).
+"""
+
+from __future__ import annotations
+
+from repro.frontend.ir import Statement
+
+__all__ = [
+    "c_name", "d_name", "c0_name", "csum_name", "delta_name", "deltal_name",
+    "u_name", "W_NAME",
+]
+
+W_NAME = "w"
+
+
+def c_name(stmt: Statement | str, iter_name: str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"c.{s}.{iter_name}"
+
+
+def d_name(stmt: Statement | str, param: str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"d.{s}.{param}"
+
+
+def c0_name(stmt: Statement | str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"c0.{s}"
+
+
+def csum_name(stmt: Statement | str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"csum.{s}"
+
+
+def delta_name(stmt: Statement | str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"dz.{s}"
+
+
+def deltal_name(stmt: Statement | str) -> str:
+    s = stmt if isinstance(stmt, str) else stmt.name
+    return f"dl.{s}"
+
+
+def u_name(param: str) -> str:
+    return f"u.{param}"

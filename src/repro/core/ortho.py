@@ -1,0 +1,176 @@
+"""Linear-independence machinery: orthogonal sub-spaces and the constraints
+both algorithms derive from them (Section 3.4).
+
+Given the rows ``H_S`` already found for a statement (dimension coefficients
+of the hyperplanes at outer levels), a new hyperplane must have a non-zero
+component in the orthogonal sub-space ``H_perp``:
+
+* **Pluto (classic)** restricts to the non-negative orthant of that sub-space:
+  ``r . c >= 0`` for every row ``r`` of the orthogonal *projector*
+  ``I - H^T (H H^T)^-1 H`` and ``sum_r r . c >= 1``;
+* **Pluto+** models the complete space with one binary per statement: with
+  ``|c_i| <= b``, each row value ``r . c`` lies in ``[-R_r, R_r]``; using a
+  radix ``rho > max_r R_r``, ``sum_r rho^(r-1) (r.c) == 0`` iff every row
+  value is zero, so two big-M rows indexed by ``delta^l_S`` exclude exactly
+  the linearly-dependent hyperplanes.
+
+The same radix trick with rows = unit vectors gives zero-solution avoidance
+(Section 3.3, eqs. (5)/(6)).
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.core.names import c_name, delta_name, deltal_name
+from repro.frontend.ir import Statement
+from repro.ilp import LinearConstraint
+from repro.linalg import FMatrix, integer_normalize_row
+
+__all__ = [
+    "orthogonal_projector_rows",
+    "orthogonal_basis_rows",
+    "pluto_independence_constraints",
+    "plutoplus_nonzero_constraints",
+    "plutoplus_independence_constraints",
+]
+
+
+def orthogonal_projector_rows(h_rows: list[list[int]], m: int) -> list[list[int]]:
+    """Integerized non-zero rows of ``I - H^T (H H^T)^-1 H`` (Pluto's
+    ``H_perp`` construction), reduced to a linearly independent subset.
+
+    Returns the identity rows when ``H`` is empty, and ``[]`` when ``H`` has
+    full rank ``m``.
+    """
+    if not h_rows:
+        return [[int(i == j) for j in range(m)] for i in range(m)]
+    h = FMatrix(h_rows)
+    if h.ncols != m:
+        raise ValueError("H row width mismatch")
+    ht = h.transpose()
+    gram = h @ ht
+    try:
+        gram_inv = gram.inverse()
+    except ValueError:
+        # Rows of H are linearly dependent; reduce to an independent subset.
+        reduced = _independent_rows(h_rows, m)
+        return orthogonal_projector_rows(reduced, m) if len(reduced) < len(h_rows) else []
+    proj = ht @ gram_inv @ h
+    rows: list[list[int]] = []
+    for i in range(m):
+        row = [
+            Fraction(int(i == j)) - proj.rows[i][j] for j in range(m)
+        ]
+        norm = integer_normalize_row(row)
+        if any(norm):
+            rows.append(norm)
+    return _independent_rows(rows, m)
+
+
+def _independent_rows(rows: list[list[int]], m: int) -> list[list[int]]:
+    out: list[list[int]] = []
+    for row in rows:
+        if not any(row):
+            continue
+        candidate = out + [row]
+        if FMatrix(candidate).rank() == len(candidate):
+            out.append(row)
+    return out
+
+
+def orthogonal_basis_rows(h_rows: list[list[int]], m: int) -> list[list[int]]:
+    """Integer nullspace basis of ``H`` (used by Pluto+, any orthant is fine)."""
+    from repro.linalg import orthogonal_complement
+
+    return orthogonal_complement(h_rows, m)
+
+
+def pluto_independence_constraints(
+    stmt: Statement, h_rows: list[list[int]]
+) -> list[LinearConstraint]:
+    """Classic Pluto: non-negative orthant of the orthogonal sub-space.
+
+    ``r . c >= 0`` for each projector row plus ``sum_r (r . c) >= 1``.
+    Returns ``[]`` when the statement is already full rank (no constraint —
+    callers then allow the zero row for this statement).
+    """
+    m = stmt.dim
+    perp = orthogonal_projector_rows(h_rows, m)
+    if not perp:
+        return []
+    out: list[LinearConstraint] = []
+    total: dict[str, int] = {}
+    for row in perp:
+        terms = {
+            c_name(stmt, it): coef
+            for it, coef in zip(stmt.space.dims, row)
+            if coef != 0
+        }
+        out.append(LinearConstraint(terms, 0, label=f"ortho+:{stmt.name}"))
+        for name, coef in terms.items():
+            total[name] = total.get(name, 0) + coef
+    out.append(LinearConstraint(total, -1, label=f"ortho-sum:{stmt.name}"))
+    return out
+
+
+def _radix_rows(
+    stmt: Statement,
+    rows: list[list[int]],
+    bound: int,
+    decision: str,
+) -> list[LinearConstraint]:
+    """The two big-M rows excluding "all row values zero" (eqs. (5)/(6)).
+
+    ``rows`` are the H_perp rows (or unit vectors for zero avoidance);
+    ``bound`` is ``b``; ``decision`` the binary variable name.
+    """
+    # Per-row maximum magnitude of r . c given |c_i| <= b.
+    row_max = [bound * sum(abs(x) for x in row) for row in rows]
+    radix = max(row_max) + 1
+    big_m = radix ** len(rows)
+
+    combo: dict[str, int] = {}
+    weight = 1
+    for row in rows:
+        for it, coef in zip(stmt.space.dims, row):
+            if coef:
+                name = c_name(stmt, it)
+                combo[name] = combo.get(name, 0) + weight * coef
+        weight *= radix
+
+    pos = dict(combo)
+    pos[decision] = big_m
+    neg = {k: -v for k, v in combo.items()}
+    neg[decision] = -big_m
+    return [
+        LinearConstraint(pos, -1, label=f"radix+:{stmt.name}"),
+        LinearConstraint(neg, big_m - 1, label=f"radix-:{stmt.name}"),
+    ]
+
+
+def plutoplus_nonzero_constraints(
+    stmt: Statement, bound: int
+) -> list[LinearConstraint]:
+    """Zero-solution avoidance (Section 3.3): all orthants, one binary.
+
+    With unit-vector rows the radix is ``b + 1`` (the paper's base-5 example
+    for ``b = 4``).
+    """
+    unit_rows = [
+        [int(i == j) for j in range(stmt.dim)] for i in range(stmt.dim)
+    ]
+    return _radix_rows(stmt, unit_rows, bound, delta_name(stmt))
+
+
+def plutoplus_independence_constraints(
+    stmt: Statement, h_rows: list[list[int]], bound: int
+) -> list[LinearConstraint]:
+    """Linear independence over the complete orthogonal sub-space (3.4).
+
+    Empty when the statement is already full rank.
+    """
+    perp = orthogonal_basis_rows(h_rows, stmt.dim)
+    if not perp:
+        return []
+    return _radix_rows(stmt, perp, bound, deltal_name(stmt))

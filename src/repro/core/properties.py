@@ -1,0 +1,91 @@
+"""Post-scheduling hyperplane properties: parallel / sequential marking.
+
+A loop level is parallel when no dependence is carried there: every
+dependence is either satisfied at an earlier level or has distance exactly
+zero at this level (for all not-yet-ordered instance pairs).  This is the
+"Misc/other: computing hyperplane properties" component of the paper's
+compile-time breakdown (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.transform import Schedule
+from repro.deps.ddg import DependenceGraph
+from repro.polyhedra import BasicSet, Constraint
+
+__all__ = ["mark_parallelism"]
+
+_UNBOUNDED = object()
+
+
+def _try_min(rem: BasicSet, expr):
+    try:
+        return rem.min_of(expr)
+    except ValueError:
+        return _UNBOUNDED
+
+
+def _try_max(rem: BasicSet, expr):
+    try:
+        return rem.max_of(expr)
+    except ValueError:
+        return _UNBOUNDED
+
+
+def mark_parallelism(sched: Schedule, ddg: DependenceGraph) -> None:
+    """Fill ``row.parallel`` for every loop level of ``sched``.
+
+    Works on the dependences' full polyhedra, re-deriving the ordering state
+    level by level (satisfaction levels recorded by the scheduler are not
+    reused, so this pass also works on hand-built schedules).
+    """
+    remaining: dict[int, Optional[BasicSet]] = {
+        id(d): d.polyhedron for d in ddg.deps
+    }
+    for row in sched.rows:
+        if row.kind == "scalar":
+            for d in ddg.deps:
+                rem = remaining.get(id(d))
+                if rem is None:
+                    continue
+                if (
+                    row.expr_for(d.source).const_term
+                    < row.expr_for(d.target).const_term
+                ):
+                    remaining[id(d)] = None  # strictly ordered here
+            continue
+
+        carried = False
+        for d in ddg.deps:
+            key = id(d)
+            rem = remaining.get(key)
+            if rem is None:
+                continue
+            expr = d.distance_expr(
+                row.expr_for(d.source), row.expr_for(d.target)
+            )
+            mn = _try_min(rem, expr)
+            if mn is None:
+                remaining[key] = None  # remaining part is empty
+                continue
+            if mn is _UNBOUNDED:
+                # Negative distances on unordered pairs only arise for
+                # hand-built (possibly illegal) schedules; the level
+                # certainly reorders/carries the dependence.
+                carried = True
+                continue
+            if mn >= 1:
+                carried = True
+                remaining[key] = None
+                continue
+            mx = _try_max(rem, expr)
+            if mx is _UNBOUNDED or (mx is not None and mx >= 1):
+                # Mixed: some pairs strictly ordered here, some not.
+                carried = True
+                zero = rem.copy()
+                zero.add(Constraint(expr, equality=True))
+                remaining[key] = None if zero.is_empty() else zero
+            # else distance uniformly zero: not carried, remaining unchanged
+        row.parallel = not carried

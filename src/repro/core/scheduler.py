@@ -1,0 +1,443 @@
+"""The iterative Pluto / Pluto+ scheduling algorithm (Sections 3.2–3.8).
+
+Level by level, one ILP per level, the scheduler searches for hyperplanes
+``phi_S`` that are
+
+* legal — eq. (2) holds for every dependence still *active* (not satisfied
+  before the current band started; keeping in-band-satisfied dependences
+  active is what makes the found bands fully permutable and hence tilable);
+* bounded — eq. (3) ties every active dependence distance below ``u.p + w``;
+* linearly independent of the hyperplanes already found, for every statement
+  whose transformation is not yet full column rank;
+
+and minimizes objective (4) (classic) or (8) (Pluto+) as a ``lexmin``.
+
+When no hyperplane exists the current band is closed; dependences satisfied
+inside it retire from the active set, and if the remaining DDG splits into
+several SCCs a scalar dimension orders them (an SCC "cut", Pluto's fusion
+structure).  The loop ends when every dependence is satisfied and every
+statement's transformation is one-to-one.
+
+Algorithm selection:
+
+* ``"pluto"``   — classic trade-off: ``c_i >= 0``, ``sum c_i >= 1``,
+  non-negative orthant of the orthogonal sub-space;
+* ``"plutoplus"`` — the paper's contribution: ``-b <= c_i <= b`` with
+  radix-encoded zero-avoidance and linear independence (one binary each) and
+  the ``c_sum`` smallest-coefficient objective.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.farkas import bounding_constraints, legality_constraints
+from repro.core.names import (
+    W_NAME,
+    c0_name,
+    c_name,
+    csum_name,
+    d_name,
+    delta_name,
+    deltal_name,
+    u_name,
+)
+from repro.core.ortho import (
+    pluto_independence_constraints,
+    plutoplus_independence_constraints,
+    plutoplus_nonzero_constraints,
+)
+from repro.core.transform import Band, Schedule, ScheduleRow
+from repro.deps.analysis import Dependence
+from repro.deps.ddg import DependenceGraph
+from repro.frontend.ir import Program, Statement
+from repro.ilp import ILPModel, LinearConstraint, lexmin
+from repro.linalg import FMatrix
+from repro.polyhedra import AffExpr, Constraint
+
+__all__ = ["SchedulerOptions", "SchedulerError", "PlutoScheduler", "SchedulerStats"]
+
+DEFAULT_COEFF_BOUND = 4  # the paper's b (Section 3.3 uses b = 4)
+
+
+class SchedulerError(RuntimeError):
+    pass
+
+
+@dataclass
+class SchedulerOptions:
+    algorithm: str = "plutoplus"          # "pluto" | "plutoplus"
+    coeff_bound: int = DEFAULT_COEFF_BOUND
+    #: "highs" by default: the pure-Python exact simplex (the PIP-role
+    #: backend, kept correct and property-tested against HiGHS) costs seconds
+    #: per LP at scheduler model sizes, so the production path uses HiGHS
+    #: with exact verification of the rounded solutions.
+    ilp_backend: str = "highs"            # "exact" | "highs" | "auto"
+    auto_threshold: int = 25              # auto mode: exact below, HiGHS above
+    max_levels: int = 32                  # safety valve
+    #: Section 3.6 smallest-coefficients objective; disabled only by the
+    #: csum ablation bench.
+    csum_objective: bool = True
+    #: Fusion structure (Pluto's --fuse): "max" fuses as long as a common
+    #: hyperplane exists; "no" distributes SCCs with a scalar dimension
+    #: before every search; "smart" (default) first separates SCCs of
+    #: different dimensionality (Pluto's dimensionality-based cut), then
+    #: behaves like "max".
+    fuse: str = "smart"
+
+    def __post_init__(self) -> None:
+        if self.algorithm not in ("pluto", "plutoplus"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.coeff_bound < 1:
+            raise ValueError("coeff_bound must be >= 1")
+        if self.fuse not in ("smart", "max", "no"):
+            raise ValueError(f"unknown fusion policy {self.fuse!r}")
+
+
+@dataclass
+class SchedulerStats:
+    ilp_solves: int = 0
+    ilp_variables_max: int = 0
+    hyperplanes_found: int = 0
+    cuts: int = 0
+    solve_seconds: float = 0.0
+    backends_used: set = field(default_factory=set)
+
+
+class PlutoScheduler:
+    def __init__(
+        self,
+        program: Program,
+        ddg: DependenceGraph,
+        options: Optional[SchedulerOptions] = None,
+    ):
+        self.program = program
+        self.ddg = ddg
+        self.options = options or SchedulerOptions()
+        self.stats = SchedulerStats()
+        # Lazily computed Farkas constraints per dependence (they do not
+        # depend on the level, so one elimination serves the whole run).
+        self._farkas_cache: dict[int, tuple[list, list]] = {}
+        # Exact satisfaction tracking: the sub-polyhedron of instance pairs
+        # not yet strictly ordered by earlier levels.
+        self._remaining = {id(d): d.polyhedron for d in ddg.deps}
+
+    # -- public API -----------------------------------------------------------
+
+    def schedule(self) -> Schedule:
+        self.ddg.reset()
+        self._remaining = {id(d): d.polyhedron for d in self.ddg.deps}
+        sched = Schedule(self.program)
+        band_start = 0
+        stuck_guard = 0
+
+        if self.options.fuse == "smart" and self._cut_dim_based(sched):
+            band_start = sched.depth
+        if self.options.fuse == "no" and self._cut(sched):
+            band_start = sched.depth
+
+        while not self._done(sched):
+            if sched.depth >= self.options.max_levels:
+                raise SchedulerError(
+                    f"exceeded {self.options.max_levels} schedule levels"
+                )
+            row = None
+            if not self._all_full_rank(sched):
+                active = self._active_deps(sched, band_start)
+                row = self.find_hyperplane(sched, active)
+            if row is not None:
+                level = sched.depth
+                sched.add_row(row)
+                self._update_ranks(sched)
+                self._update_satisfaction(sched, level)
+                self.stats.hyperplanes_found += 1
+                stuck_guard = 0
+                continue
+
+            # No hyperplane: close the band (if any rows accumulated).
+            if sched.depth > band_start:
+                sched.bands.append(Band(band_start, sched.depth - 1))
+                band_start = sched.depth
+                stuck_guard = 0
+                # Retrying with the shrunken active set may now succeed.
+                if not self._all_full_rank(sched):
+                    continue
+
+            if self._cut(sched):
+                band_start = sched.depth
+                stuck_guard = 0
+                continue
+
+            stuck_guard += 1
+            if stuck_guard > 1:
+                raise SchedulerError(
+                    f"scheduler stuck on {self.program.name}: "
+                    f"{len(self.ddg.unsatisfied())} unsatisfied deps, "
+                    f"ranks {sched.rank}"
+                )
+
+        if sched.depth > band_start:
+            sched.bands.append(Band(band_start, sched.depth - 1))
+        self._finalize_order(sched)
+        return sched
+
+    # -- pieces ------------------------------------------------------------------
+
+    def _done(self, sched: Schedule) -> bool:
+        return not self.ddg.unsatisfied() and self._all_full_rank(sched)
+
+    def _all_full_rank(self, sched: Schedule) -> bool:
+        return all(
+            sched.rank[s.name] >= s.dim for s in self.program.statements
+        )
+
+    def _active_deps(self, sched: Schedule, band_start: int) -> list[Dependence]:
+        """Deps constraining the next hyperplane: unsatisfied, or satisfied
+        within the current band (keeps the band permutable)."""
+        out = []
+        for d in self.ddg.deps:
+            if d.satisfied_by_cut:
+                continue
+            if d.satisfaction_level is None or d.satisfaction_level >= band_start:
+                out.append(d)
+        return out
+
+    def _farkas(self, dep: Dependence) -> tuple[list, list]:
+        key = id(dep)
+        if key not in self._farkas_cache:
+            self._farkas_cache[key] = (
+                legality_constraints(dep),
+                bounding_constraints(dep),
+            )
+        return self._farkas_cache[key]
+
+    # -- the per-level ILP ----------------------------------------------------------
+
+    def build_model(
+        self, sched: Schedule, active: Sequence[Dependence]
+    ) -> ILPModel:
+        opts = self.options
+        plus = opts.algorithm == "plutoplus"
+        b = opts.coeff_bound
+        model = ILPModel()
+        order: list[str] = []
+        seen_rows: set = set()
+
+        def add_con(con: LinearConstraint) -> None:
+            """De-duplicated constraint insertion (dependences with the same
+            shape generate identical Farkas rows, and the exact backend's
+            cost grows with the row count)."""
+            key = (
+                tuple(sorted(con.coeffs.items())),
+                con.const,
+                con.equality,
+            )
+            if key in seen_rows:
+                return
+            seen_rows.add(key)
+            model.add_constraint(con.coeffs, con.const, con.equality, con.label)
+
+        for p in self.program.params:
+            model.add_variable(u_name(p), lower=0)
+            order.append(u_name(p))
+        model.add_variable(W_NAME, lower=0)
+        order.append(W_NAME)
+
+        use_csum = plus and opts.csum_objective
+        for s in self.program.statements:
+            full = sched.rank[s.name] >= s.dim
+            if use_csum:
+                model.add_variable(csum_name(s), lower=0, upper=b * max(s.dim, 1))
+                order.append(csum_name(s))
+            for it in s.space.dims:
+                if plus:
+                    model.add_variable(c_name(s, it), lower=-b, upper=b)
+                else:
+                    model.add_variable(c_name(s, it), lower=0)
+                order.append(c_name(s, it))
+            for p in s.space.params:
+                model.add_variable(d_name(s, p), lower=0)
+                order.append(d_name(s, p))
+            model.add_variable(c0_name(s), lower=0)
+            order.append(c0_name(s))
+            if plus:
+                model.add_variable(delta_name(s), lower=0, upper=1)
+                order.append(delta_name(s))
+                model.add_variable(deltal_name(s), lower=0, upper=1)
+                order.append(deltal_name(s))
+
+            if plus:
+                if use_csum:
+                    for con in _csum_constraints(s, b):
+                        add_con(con)
+                if not full and s.dim > 0:
+                    for con in plutoplus_nonzero_constraints(s, b):
+                        add_con(con)
+                    for con in plutoplus_independence_constraints(
+                        s, sched.h_rows(s), b
+                    ):
+                        add_con(con)
+            else:
+                if not full and s.dim > 0:
+                    for con in pluto_independence_constraints(s, sched.h_rows(s)):
+                        add_con(con)
+
+        for dep in active:
+            legal, bound = self._farkas(dep)
+            for con in legal + bound:
+                add_con(con)
+
+        model.set_objective_order(order)
+        return model
+
+    def find_hyperplane(
+        self, sched: Schedule, active: Sequence[Dependence]
+    ) -> Optional[ScheduleRow]:
+        model = self.build_model(sched, active)
+        self.stats.ilp_variables_max = max(
+            self.stats.ilp_variables_max, model.num_variables
+        )
+        t0 = time.perf_counter()
+        result = lexmin(
+            model,
+            backend=self.options.ilp_backend,
+            auto_threshold=self.options.auto_threshold,
+        )
+        self.stats.solve_seconds += time.perf_counter() - t0
+        self.stats.ilp_solves += result.solves
+        self.stats.backends_used.add(result.backend)
+        if not result.is_optimal:
+            return None
+        exprs: dict[str, AffExpr] = {}
+        nonzero = False
+        for s in self.program.statements:
+            terms = {
+                it: int(result.assignment[c_name(s, it)]) for it in s.space.dims
+            }
+            for p in s.space.params:
+                terms[p] = int(result.assignment[d_name(s, p)])
+            const = int(result.assignment[c0_name(s)])
+            expr = AffExpr.from_terms(s.space, terms, const)
+            if any(terms.values()) or const:
+                nonzero = True
+            exprs[s.name] = expr
+        if not nonzero:
+            return None
+        return ScheduleRow("loop", exprs)
+
+    # -- progress bookkeeping ----------------------------------------------------------
+
+    def _update_ranks(self, sched: Schedule) -> None:
+        for s in self.program.statements:
+            rows = sched.h_rows(s)
+            sched.rank[s.name] = FMatrix(rows).rank() if rows else 0
+
+    def _update_satisfaction(self, sched: Schedule, level: int) -> None:
+        """Exact per-dependence satisfaction at the new ``level``.
+
+        A dependence is satisfied once every not-yet-ordered instance pair
+        has distance >= 1 at this level; pairs with distance exactly 0 remain
+        in the dependence's *remaining* polyhedron for deeper levels.
+        """
+        row = sched.rows[level]
+        for dep in self.ddg.deps:
+            if dep.is_satisfied:
+                continue
+            remaining = self._remaining[id(dep)]
+            expr = dep.distance_expr(
+                row.expr_for(dep.source), row.expr_for(dep.target)
+            )
+            mn = remaining.min_of(expr)
+            if mn is None:  # remaining part already empty: fully ordered
+                dep.satisfaction_level = level
+                continue
+            if mn >= 1:
+                dep.satisfaction_level = level
+                continue
+            # Keep only the instance pairs this level fails to order.  For
+            # active deps legality guarantees expr >= 0, so that is expr == 0;
+            # for retired deps the distance may be negative — those pairs were
+            # already ordered by an earlier level of a previous band.
+            zero = remaining.copy()
+            zero.add(Constraint(expr, equality=True))
+            self._remaining[id(dep)] = zero
+
+    def _cut_dim_based(self, sched: Schedule) -> bool:
+        """Pluto's smartfuse opening move: order SCCs whose statements have
+        different nesting depth before searching for common hyperplanes
+        (statements of unequal dimensionality rarely profit from fusion and
+        inflate the ILP)."""
+        sccs = self.ddg.sccs(restrict_to_unsatisfied=True)
+        if len(sccs) <= 1:
+            return False
+        dims = [max(s.dim for s in scc) for scc in sccs]
+        if len(set(dims)) <= 1:
+            return False
+        # group consecutive SCCs of equal dimensionality; order the groups
+        index: dict[str, int] = {}
+        pos = 0
+        for k, scc in enumerate(sccs):
+            if k > 0 and dims[k] != dims[k - 1]:
+                pos += 1
+            for s in scc:
+                index[s.name] = pos
+        if len(set(index.values())) <= 1:
+            return False
+        if self.ddg.mark_cut_satisfied(index) == 0:
+            return False
+        sched.add_scalar_row(index)
+        self.stats.cuts += 1
+        return True
+
+    def _cut(self, sched: Schedule) -> bool:
+        """Insert a scalar dimension ordering the SCCs of the unsatisfied DDG."""
+        sccs = self.ddg.sccs(restrict_to_unsatisfied=True)
+        if len(sccs) <= 1:
+            return False
+        index: dict[str, int] = {}
+        for pos, scc in enumerate(sccs):
+            for s in scc:
+                index[s.name] = pos
+        if self.ddg.mark_cut_satisfied(index) == 0 and self.ddg.unsatisfied():
+            # The cut would order nothing that matters; cutting again cannot
+            # make progress, so report failure to the driver.
+            return False
+        sched.add_scalar_row(index)
+        self.stats.cuts += 1
+        return True
+
+    def _finalize_order(self, sched: Schedule) -> None:
+        """Append a final scalar dimension when distinct statements share an
+        identical schedule prefix (the 2d+1 "beta" role), so code generation
+        has a total order."""
+        if len(self.program.statements) < 2:
+            return
+        maps = {
+            s.name: tuple(
+                tuple(row.expr_for(s).coeffs) for row in sched.rows
+            )
+            for s in self.program.statements
+        }
+        if len(set(maps.values())) == len(maps):
+            return
+        positions = {
+            s.name: i for i, s in enumerate(self.program.statements)
+        }
+        sched.add_scalar_row(positions)
+
+
+def _csum_constraints(stmt: Statement, bound: int) -> list[LinearConstraint]:
+    """Section 3.6: ``csum_S >= +/- c_1 +/- c_2 ... +/- c_m`` (all sign rows)."""
+    out: list[LinearConstraint] = []
+    m = stmt.dim
+    if m == 0:
+        return out
+    names = [c_name(stmt, it) for it in stmt.space.dims]
+    for mask in range(1 << m):
+        terms = {csum_name(stmt): 1}
+        for k, name in enumerate(names):
+            terms[name] = -1 if not (mask >> k) & 1 else 1
+        out.append(LinearConstraint(terms, 0, label=f"csum:{stmt.name}"))
+    return out

@@ -1,0 +1,268 @@
+"""Band tiling: rectangular tiles over permutable bands.
+
+Tiling a band of ``k`` permutable levels inserts ``k`` *tile* dimensions
+immediately before the band; tile dimension ``T`` for level expression
+``phi`` satisfies ``ts*T <= phi <= ts*T + ts - 1``.  Because every level in
+the band has non-negative dependence components (the scheduler construction),
+executing tiles atomically in lexicographic order is legal — the classic
+validity argument of the Pluto paper.
+
+The result is a :class:`TiledSchedule` whose rows extend the base schedule
+rows with ``kind == "tile"`` entries; the code generator scans them exactly
+like loop rows but with inequality (rather than equality) binding
+constraints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.transform import Band, Schedule, ScheduleRow
+from repro.frontend.ir import Program
+
+__all__ = [
+    "DEFAULT_TILE_SIZE",
+    "TiledRow",
+    "TiledSchedule",
+    "l2_tile_schedule",
+    "optimize_intra_tile",
+    "tile_schedule",
+    "untiled_schedule",
+]
+
+DEFAULT_TILE_SIZE = 32
+
+
+@dataclass
+class TiledRow:
+    """One dimension of the final scanning order.
+
+    ``kind``: ``"loop"`` (equality ``z == phi``), ``"scalar"`` (constant), or
+    ``"tile"`` (``ts*z <= phi <= ts*z + ts - 1``).  ``parallel`` flags carry
+    over from hyperplane properties; for tile rows the flag describes the
+    tile loop (e.g. concurrent start makes the first tile dimension of a
+    diamond band parallel).
+    """
+
+    kind: str
+    exprs: dict[str, object]       # stmt name -> AffExpr
+    tile_size: Optional[int] = None
+    parallel: Optional[bool] = None
+    band_role: str = ""            # "tile" | "point" | "" for bookkeeping
+
+    def expr_for(self, stmt) -> object:
+        name = stmt if isinstance(stmt, str) else stmt.name
+        return self.exprs[name]
+
+
+@dataclass
+class TiledSchedule:
+    """The scanning order handed to the code generator."""
+
+    program: Program
+    rows: list[TiledRow] = field(default_factory=list)
+    bands: list[Band] = field(default_factory=list)     # over *row* indices
+    source_schedule: Optional[Schedule] = None
+
+    @property
+    def depth(self) -> int:
+        return len(self.rows)
+
+    def parallel_levels(self) -> list[int]:
+        return [i for i, r in enumerate(self.rows) if r.parallel]
+
+    def tile_levels(self) -> list[int]:
+        return [i for i, r in enumerate(self.rows) if r.kind == "tile"]
+
+
+def _as_tiled_row(row: ScheduleRow) -> TiledRow:
+    return TiledRow(row.kind, dict(row.exprs), parallel=row.parallel)
+
+
+def tile_schedule(
+    sched: Schedule,
+    tile_size: int | dict[int, int] = DEFAULT_TILE_SIZE,
+    min_band_width: int = 2,
+) -> TiledSchedule:
+    """Tile every permutable band of width >= ``min_band_width``.
+
+    ``tile_size`` may be a single size or a per-band mapping (band index ->
+    size).  Bands marked ``concurrent_start`` (diamond) get a parallel first
+    tile dimension; ordinary tiled bands get a sequential first tile
+    dimension with the remaining tile dimensions parallel when the source
+    band was found under a bounded distance (wavefront/pipeline parallelism
+    is modeled by the machine layer, not re-expressed as a skewed loop here).
+    """
+    out = TiledSchedule(sched.program, source_schedule=sched)
+    sizes = tile_size if isinstance(tile_size, dict) else None
+
+    bands_sorted = sorted(sched.bands, key=lambda b: b.start)
+    band_iter = iter(bands_sorted)
+    next_band = next(band_iter, None)
+    level = 0
+    band_counter = 0
+    while level < sched.depth:
+        if (
+            next_band is not None
+            and level == next_band.start
+            and next_band.permutable
+            and next_band.width >= min_band_width
+        ):
+            ts = (
+                sizes.get(band_counter, DEFAULT_TILE_SIZE)
+                if sizes is not None
+                else tile_size
+            )
+            tile_start = len(out.rows)
+            for offset, lv in enumerate(next_band.levels()):
+                src = sched.rows[lv]
+                parallel = (
+                    next_band.concurrent_start and offset == 0
+                )
+                out.rows.append(
+                    TiledRow(
+                        "tile",
+                        dict(src.exprs),
+                        tile_size=ts,
+                        parallel=parallel,
+                        band_role="tile",
+                    )
+                )
+            point_start = len(out.rows)
+            for lv in next_band.levels():
+                r = _as_tiled_row(sched.rows[lv])
+                r.band_role = "point"
+                out.rows.append(r)
+            out.bands.append(
+                Band(
+                    tile_start,
+                    point_start - 1,
+                    permutable=True,
+                    concurrent_start=next_band.concurrent_start,
+                )
+            )
+            out.bands.append(
+                Band(
+                    point_start,
+                    len(out.rows) - 1,
+                    permutable=True,
+                    concurrent_start=next_band.concurrent_start,
+                )
+            )
+            level = next_band.end + 1
+            next_band = next(band_iter, None)
+            band_counter += 1
+            continue
+        if next_band is not None and level == next_band.start:
+            # untiled band (too narrow): copy rows through
+            start = len(out.rows)
+            for lv in next_band.levels():
+                out.rows.append(_as_tiled_row(sched.rows[lv]))
+            out.bands.append(
+                Band(start, len(out.rows) - 1, permutable=next_band.permutable)
+            )
+            level = next_band.end + 1
+            next_band = next(band_iter, None)
+            band_counter += 1
+            continue
+        out.rows.append(_as_tiled_row(sched.rows[level]))
+        level += 1
+    return out
+
+
+def untiled_schedule(sched: Schedule) -> TiledSchedule:
+    """A :class:`TiledSchedule` that simply mirrors ``sched`` (no tiling)."""
+    out = TiledSchedule(sched.program, source_schedule=sched)
+    out.rows = [_as_tiled_row(r) for r in sched.rows]
+    out.bands = [
+        Band(b.start, b.end, b.permutable, b.concurrent_start)
+        for b in sched.bands
+    ]
+    return out
+
+
+def l2_tile_schedule(tsched: TiledSchedule, ratio: int = 8) -> TiledSchedule:
+    """Second-level tiling (Pluto's ``--l2tile``): wrap every first-level
+    tile band in an outer band of tiles ``ratio`` times larger.
+
+    The L2 tile dimension for a tile row with size ``ts`` satisfies
+    ``ts*ratio*Z <= phi <= ts*ratio*Z + ts*ratio - 1`` — the same inequality
+    shape the code generator already scans, so no new machinery is needed.
+    """
+    if ratio < 2:
+        raise ValueError("l2 ratio must be >= 2")
+    out = TiledSchedule(tsched.program, source_schedule=tsched.source_schedule)
+    i = 0
+    while i < len(tsched.rows):
+        row = tsched.rows[i]
+        band = next(
+            (b for b in tsched.bands if b.start == i and tsched.rows[b.start].kind == "tile"
+             and all(tsched.rows[l].kind == "tile" for l in b.levels())),
+            None,
+        )
+        if band is None:
+            out.rows.append(row)
+            i += 1
+            continue
+        l2_start = len(out.rows)
+        for lv in band.levels():
+            src = tsched.rows[lv]
+            out.rows.append(
+                TiledRow(
+                    "tile",
+                    dict(src.exprs),
+                    tile_size=src.tile_size * ratio,
+                    parallel=src.parallel,
+                    band_role="l2-tile",
+                )
+            )
+        out.bands.append(
+            Band(l2_start, len(out.rows) - 1, permutable=True,
+                 concurrent_start=band.concurrent_start)
+        )
+        l1_start = len(out.rows)
+        for lv in band.levels():
+            out.rows.append(tsched.rows[lv])
+        out.bands.append(
+            Band(l1_start, len(out.rows) - 1, permutable=True,
+                 concurrent_start=band.concurrent_start)
+        )
+        i = band.end + 1
+    # copy through the remaining (non-tile) bands with shifted indices
+    offset = len(out.rows) - len(tsched.rows)
+    for b in tsched.bands:
+        if tsched.rows[b.start].kind != "tile":
+            out.bands.append(
+                Band(b.start + offset, b.end + offset, b.permutable, b.concurrent_start)
+            )
+    return out
+
+
+def optimize_intra_tile(tsched: TiledSchedule) -> TiledSchedule:
+    """Post-transformation intra-tile optimization (the paper's "Misc" pass):
+    within each permutable *point* band, rotate a parallel level innermost so
+    the innermost loop vectorizes.  Permutability makes any order legal.
+    """
+    out = TiledSchedule(tsched.program, source_schedule=tsched.source_schedule)
+    out.rows = list(tsched.rows)
+    out.bands = [
+        Band(b.start, b.end, b.permutable, b.concurrent_start)
+        for b in tsched.bands
+    ]
+    for band in out.bands:
+        if not band.permutable or band.width < 2:
+            continue
+        levels = list(band.levels())
+        if any(out.rows[l].kind != "loop" for l in levels):
+            continue
+        innermost = levels[-1]
+        if out.rows[innermost].parallel:
+            continue
+        parallel = [l for l in levels if out.rows[l].parallel]
+        if not parallel:
+            continue
+        chosen = parallel[-1]
+        row = out.rows.pop(chosen)
+        out.rows.insert(innermost, row)
+    return out

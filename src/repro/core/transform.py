@@ -1,0 +1,207 @@
+"""Schedule containers: per-statement multi-dimensional affine transformations.
+
+A :class:`Schedule` is a list of levels; each level holds one affine
+expression per statement (a hyperplane found by the ILP, or a scalar ordering
+dimension introduced by an SCC cut).  Bands group consecutive hyperplane
+levels that are mutually permutable — the unit of tiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.frontend.ir import Program, Statement
+from repro.polyhedra import AffExpr, AffineMap
+
+__all__ = ["ScheduleRow", "Band", "Schedule"]
+
+
+@dataclass
+class ScheduleRow:
+    """One schedule level.
+
+    ``kind`` is ``"loop"`` for an ILP-found hyperplane and ``"scalar"`` for an
+    SCC-ordering dimension.  ``exprs`` maps statement name to the level's
+    affine expression over that statement's space (constant for scalars).
+    ``parallel`` is filled by the property pass: True when the loop carries no
+    dependence.
+    """
+
+    kind: str
+    exprs: dict[str, AffExpr]
+    parallel: Optional[bool] = None
+
+    def expr_for(self, stmt: Statement | str) -> AffExpr:
+        name = stmt if isinstance(stmt, str) else stmt.name
+        return self.exprs[name]
+
+    def coeff_rows(self, stmt: Statement) -> list[int]:
+        """Dimension coefficients (no params/const) for ``stmt``."""
+        e = self.expr_for(stmt)
+        return [e.coeff_of(d) for d in stmt.space.dims]
+
+    def is_constant_for(self, stmt: Statement) -> bool:
+        return self.expr_for(stmt).is_constant()
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}: {e}" for k, e in self.exprs.items())
+        return f"[{self.kind}] {inner}"
+
+
+@dataclass
+class Band:
+    """A maximal set of consecutive, mutually permutable loop levels."""
+
+    start: int                      # first level index (inclusive)
+    end: int                        # last level index (inclusive)
+    permutable: bool = True
+    concurrent_start: bool = False  # diamond-tiled band (Section 2.4 / [2])
+
+    @property
+    def width(self) -> int:
+        return self.end - self.start + 1
+
+    def levels(self) -> range:
+        return range(self.start, self.end + 1)
+
+    def __str__(self) -> str:
+        flags = "permutable" if self.permutable else "non-permutable"
+        if self.concurrent_start:
+            flags += ", concurrent-start"
+        return f"band[{self.start}..{self.end}] ({flags})"
+
+
+class Schedule:
+    """The transformation computed for a program."""
+
+    def __init__(self, program: Program):
+        self.program = program
+        self.rows: list[ScheduleRow] = []
+        self.bands: list[Band] = []
+        #: per-statement count of linearly independent hyperplanes found
+        self.rank: dict[str, int] = {s.name: 0 for s in program.statements}
+
+    # -- construction --------------------------------------------------------
+
+    def add_row(self, row: ScheduleRow) -> None:
+        self.rows.append(row)
+
+    def add_scalar_row(self, positions: dict[str, int]) -> None:
+        exprs = {
+            s.name: AffExpr.const(s.space, positions[s.name])
+            for s in self.program.statements
+        }
+        self.rows.append(ScheduleRow("scalar", exprs))
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def depth(self) -> int:
+        return len(self.rows)
+
+    def loop_levels(self) -> list[int]:
+        return [i for i, r in enumerate(self.rows) if r.kind == "loop"]
+
+    def h_rows(self, stmt: Statement) -> list[list[int]]:
+        """The ``H_S`` matrix: dimension-coefficient rows found so far."""
+        out = []
+        for row in self.rows:
+            if row.kind != "loop":
+                continue
+            coeffs = row.coeff_rows(stmt)
+            if any(coeffs):
+                out.append(coeffs)
+        return out
+
+    def is_full_rank(self, stmt: Statement) -> bool:
+        return self.rank[stmt.name] >= stmt.dim
+
+    def map_for(self, stmt: Statement | str) -> AffineMap:
+        s = self.program.statement(stmt) if isinstance(stmt, str) else stmt
+        return AffineMap(s.space, [row.expr_for(s) for row in self.rows])
+
+    def band_at(self, level: int) -> Optional[Band]:
+        for band in self.bands:
+            if band.start <= level <= band.end:
+                return band
+        return None
+
+    def outermost_parallel_level(self) -> Optional[int]:
+        for i, row in enumerate(self.rows):
+            if row.kind == "loop" and row.parallel:
+                return i
+        return None
+
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form (coefficients per statement per level)."""
+        return {
+            "program": self.program.name,
+            "rows": [
+                {
+                    "kind": row.kind,
+                    "parallel": row.parallel,
+                    "exprs": {
+                        name: list(expr.coeffs)
+                        for name, expr in row.exprs.items()
+                    },
+                }
+                for row in self.rows
+            ],
+            "bands": [
+                {
+                    "start": b.start,
+                    "end": b.end,
+                    "permutable": b.permutable,
+                    "concurrent_start": b.concurrent_start,
+                }
+                for b in self.bands
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, program: Program, data: dict) -> "Schedule":
+        """Rebuild a schedule exported by :meth:`to_dict` for ``program``."""
+        if data.get("program") != program.name:
+            raise ValueError(
+                f"schedule was exported for {data.get('program')!r}, "
+                f"not {program.name!r}"
+            )
+        sched = cls(program)
+        for row_data in data["rows"]:
+            exprs = {}
+            for name, coeffs in row_data["exprs"].items():
+                stmt = program.statement(name)
+                exprs[name] = AffExpr(stmt.space, coeffs)
+            row = ScheduleRow(row_data["kind"], exprs, row_data.get("parallel"))
+            sched.add_row(row)
+        for b in data.get("bands", []):
+            sched.bands.append(
+                Band(b["start"], b["end"], b["permutable"], b["concurrent_start"])
+            )
+        for stmt in program.statements:
+            rows = sched.h_rows(stmt)
+            if rows:
+                from repro.linalg import FMatrix
+
+                sched.rank[stmt.name] = FMatrix(rows).rank()
+        return sched
+
+    def pretty(self) -> str:
+        lines = [f"schedule for {self.program.name} (depth {self.depth}):"]
+        for i, row in enumerate(self.rows):
+            band = self.band_at(i)
+            tag = ""
+            if row.kind == "loop":
+                tag = " parallel" if row.parallel else " sequential"
+            if band and band.start == i and band.width > 1:
+                tag += f"  <- {band}"
+            lines.append(f"  t{i}: {row}{tag}")
+        for s in self.program.statements:
+            lines.append(f"  T_{s.name}{tuple(s.space.dims)} = {self.map_for(s)}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.pretty()

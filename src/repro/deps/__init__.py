@@ -1,0 +1,11 @@
+"""Dependence analysis: polyhedral RAW/WAR/WAW edges and the DDG."""
+
+from repro.deps.analysis import Dependence, compute_dependences, product_space
+from repro.deps.ddg import DependenceGraph
+
+__all__ = [
+    "Dependence",
+    "DependenceGraph",
+    "compute_dependences",
+    "product_space",
+]

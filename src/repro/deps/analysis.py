@@ -1,0 +1,239 @@
+"""Data dependence analysis.
+
+For every ordered pair of accesses to the same array (write→read = RAW,
+read→write = WAR, write→write = WAW) and every happens-before case of the
+original 2d+1 schedules, a dependence polyhedron is built over the product
+space ``(source iters, target iters, params)`` and kept when non-empty.
+
+This yields *memory-based* dependences — a sound superset of the value-based
+(``--lastwriter``) dependences the paper's toolchain computes with ISL.  For
+the regular affine kernels evaluated (Polybench, stencils, LBM) the extra
+transitively-covered edges constrain the same hyperplanes, so the scheduler's
+choices match; DESIGN.md records this substitution.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.frontend.ir import Access, Program, Statement
+from repro.polyhedra import AffExpr, BasicSet, Constraint, Space
+from repro.polyhedra.fastcheck import set_is_empty
+
+__all__ = ["Dependence", "compute_dependences", "product_space"]
+
+SRC_SUFFIX = "__s"
+TGT_SUFFIX = "__t"
+
+
+@dataclass
+class Dependence:
+    """One dependence edge with its polyhedron.
+
+    ``polyhedron`` lives in the product space; ``src_rename``/``tgt_rename``
+    map original iterator names of source/target statements into it.
+    ``satisfaction_level`` is filled in by the scheduler: the depth at which
+    the dependence became strongly satisfied.
+    """
+
+    source: Statement
+    target: Statement
+    kind: str                      # "raw" | "war" | "waw"
+    array: str
+    polyhedron: BasicSet
+    src_rename: dict[str, str]
+    tgt_rename: dict[str, str]
+    satisfaction_level: Optional[int] = None
+    satisfied_by_cut: bool = False
+
+    @property
+    def space(self) -> Space:
+        return self.polyhedron.space
+
+    @property
+    def is_satisfied(self) -> bool:
+        return self.satisfaction_level is not None or self.satisfied_by_cut
+
+    def reset(self) -> None:
+        self.satisfaction_level = None
+        self.satisfied_by_cut = False
+
+    def distance_expr(self, phi_src: AffExpr, phi_tgt: AffExpr) -> AffExpr:
+        """``phi_tgt(t) - phi_src(s)`` in the product space.
+
+        ``phi_src``/``phi_tgt`` are affine expressions over the statements'
+        own spaces; they are rebased through the product renames.
+        """
+        space = self.space
+        t = phi_tgt.rebase(space, self.tgt_rename)
+        s = phi_src.rebase(space, self.src_rename)
+        return t - s
+
+    def min_distance(self, phi_src: AffExpr, phi_tgt: AffExpr):
+        """Exact integer minimum of the dependence distance (None if empty)."""
+        return self.polyhedron.min_of(self.distance_expr(phi_src, phi_tgt))
+
+    def is_uniform(self) -> bool:
+        """True when the dependence fixes ``t - s`` to a constant vector."""
+        return self.distance_vector() is not None
+
+    def distance_vector(self) -> Optional[tuple[int, ...]]:
+        """The constant distance vector for uniform self-dependences."""
+        if self.source.space.dims != self.target.space.dims:
+            return None
+        out = []
+        for it in self.source.space.dims:
+            d = AffExpr.var(self.space, self.tgt_rename[it]) - AffExpr.var(
+                self.space, self.src_rename[it]
+            )
+            try:
+                lo = self.polyhedron.min_of(d)
+                hi = self.polyhedron.max_of(d)
+            except ValueError:
+                return None  # parametric (unbounded) distance: not uniform
+            if lo is None or lo != hi:
+                return None
+            out.append(int(lo))
+        return tuple(out)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.kind.upper()} {self.source.name} -> {self.target.name} "
+            f"on {self.array}"
+        )
+
+    __repr__ = __str__
+
+
+def product_space(src: Statement, tgt: Statement) -> tuple[Space, dict, dict]:
+    """Product space of two statements with disjoint renamed iterators."""
+    src_rename = {it: it + SRC_SUFFIX for it in src.space.dims}
+    tgt_rename = {it: it + TGT_SUFFIX for it in tgt.space.dims}
+    dims = tuple(src_rename[i] for i in src.space.dims) + tuple(
+        tgt_rename[i] for i in tgt.space.dims
+    )
+    return Space(dims, src.space.params), src_rename, tgt_rename
+
+
+def _happens_before_cases(
+    src: Statement, tgt: Statement, space: Space, src_rename, tgt_rename
+) -> Iterable[list[Constraint]]:
+    """Constraint conjunctions under which ``src`` instance executes before
+    ``tgt`` instance, split by the first schedule level that decides order."""
+    a, b = src.sched, tgt.sched
+    prefix_eqs: list[Constraint] = []
+    for level in range(max(len(a), len(b))):
+        ea = a[level] if level < len(a) else None
+        eb = b[level] if level < len(b) else None
+        if ea is None or eb is None:
+            # One schedule is a strict prefix of the other: same scalar
+            # position so far — the shorter one is "at" this point.  With the
+            # 2d+1 form both schedules end in a scalar, so lengths only
+            # differ when nesting depth differs; order was already decided by
+            # an earlier scalar, hence no further case here.
+            return
+        scalar_a = isinstance(ea, int)
+        scalar_b = isinstance(eb, int)
+        if scalar_a and scalar_b:
+            if ea < eb:
+                yield list(prefix_eqs)
+                return
+            if ea > eb:
+                return
+            continue
+        if scalar_a != scalar_b:
+            # Structurally impossible under a common prefix (a loop vs a
+            # statement position at the same level): treat like unordered.
+            return
+        sa = ea.rebase(space, src_rename)
+        sb = eb.rebase(space, tgt_rename)
+        yield prefix_eqs + [Constraint(sb - sa - 1)]  # strictly before here
+        prefix_eqs = prefix_eqs + [Constraint(sb - sa, equality=True)]
+    # All levels equal: same instance — never a dependence by itself.
+    return
+
+
+def _access_pairs(src: Statement, tgt: Statement):
+    for w in src.writes:
+        for r in tgt.reads:
+            if w.array == r.array:
+                yield "raw", w, r
+    for r in src.reads:
+        for w in tgt.writes:
+            if r.array == w.array:
+                yield "war", r, w
+    for w1 in src.writes:
+        for w2 in tgt.writes:
+            if w1.array == w2.array:
+                yield "waw", w1, w2
+
+
+def _dependence_polyhedron(
+    program: Program,
+    src: Statement,
+    tgt: Statement,
+    acc_s: Access,
+    acc_t: Access,
+    case: list[Constraint],
+    space: Space,
+    src_rename,
+    tgt_rename,
+) -> BasicSet:
+    poly = BasicSet(space)
+    for con in src.domain.constraints:
+        poly.add(con.rebase(space, src_rename))
+    for con in tgt.domain.constraints:
+        poly.add(con.rebase(space, tgt_rename))
+    if acc_s.guard is not None:
+        for con in acc_s.guard.constraints:
+            poly.add(con.rebase(space, src_rename))
+    if acc_t.guard is not None:
+        for con in acc_t.guard.constraints:
+            poly.add(con.rebase(space, tgt_rename))
+    # conflict: both touch the same array cell
+    for es, et in zip(acc_s.map.exprs, acc_t.map.exprs):
+        poly.add(
+            Constraint(
+                et.rebase(space, tgt_rename) - es.rebase(space, src_rename),
+                equality=True,
+            )
+        )
+    for con in case:
+        poly.add(con)
+    for con in program.context_constraints(space):
+        poly.add(con)
+    return poly
+
+
+def compute_dependences(program: Program) -> list[Dependence]:
+    """All memory-based RAW/WAR/WAW dependences of ``program``."""
+    deps: list[Dependence] = []
+    for src, tgt in itertools.product(program.statements, repeat=2):
+        space, src_rename, tgt_rename = product_space(src, tgt)
+        cases = list(
+            _happens_before_cases(src, tgt, space, src_rename, tgt_rename)
+        )
+        if not cases:
+            continue
+        for kind, acc_s, acc_t in _access_pairs(src, tgt):
+            for case in cases:
+                poly = _dependence_polyhedron(
+                    program, src, tgt, acc_s, acc_t, case,
+                    space, src_rename, tgt_rename,
+                )
+                if set_is_empty(poly):
+                    continue
+                deps.append(
+                    Dependence(
+                        source=src,
+                        target=tgt,
+                        kind=kind,
+                        array=acc_s.array,
+                        polyhedron=poly,
+                        src_rename=src_rename,
+                        tgt_rename=tgt_rename,
+                    )
+                )
+    return deps

@@ -1,0 +1,104 @@
+"""The data dependence graph and its strongly connected components.
+
+The scheduler's fusion/cutting logic (Pluto's ``smartfuse``) operates on the
+DDG condensation: statements in one SCC must share hyperplanes, while edges
+between different SCCs can be satisfied "for free" by a scalar schedule
+dimension that orders the SCCs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import networkx as nx
+
+from repro.deps.analysis import Dependence
+from repro.frontend.ir import Program, Statement
+
+__all__ = ["DependenceGraph"]
+
+
+class DependenceGraph:
+    """DDG over statements with dependence-labelled edges."""
+
+    def __init__(self, program: Program, deps: Sequence[Dependence]):
+        self.program = program
+        self.deps = list(deps)
+        self.graph = nx.MultiDiGraph()
+        for s in program.statements:
+            self.graph.add_node(s.name)
+        for d in self.deps:
+            self.graph.add_edge(d.source.name, d.target.name, dep=d)
+
+    # -- queries -------------------------------------------------------------
+
+    def unsatisfied(self) -> list[Dependence]:
+        return [d for d in self.deps if not d.is_satisfied]
+
+    def inter_statement(self) -> list[Dependence]:
+        return [d for d in self.deps if d.source is not d.target]
+
+    def sccs(self, restrict_to_unsatisfied: bool = True) -> list[list[Statement]]:
+        """SCCs in a stable topological order of the condensation.
+
+        When ``restrict_to_unsatisfied`` is set, only edges whose dependence
+        is still unsatisfied contribute to connectivity — satisfied edges no
+        longer force statements to stay fused.
+        """
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(self.graph.nodes)
+        for d in self.deps:
+            if restrict_to_unsatisfied and d.is_satisfied:
+                continue
+            g.add_edge(d.source.name, d.target.name)
+        comp = list(nx.strongly_connected_components(g))
+        cond = nx.condensation(g, comp)
+        order = list(nx.topological_sort(cond))
+        name_to_stmt = {s.name: s for s in self.program.statements}
+        out: list[list[Statement]] = []
+        for idx in order:
+            members = sorted(
+                cond.nodes[idx]["members"],
+                key=lambda n: self.program.statements.index(name_to_stmt[n]),
+            )
+            out.append([name_to_stmt[n] for n in members])
+        return out
+
+    def deps_between(
+        self, a: Iterable[Statement], b: Iterable[Statement]
+    ) -> list[Dependence]:
+        a_names = {s.name for s in a}
+        b_names = {s.name for s in b}
+        return [
+            d
+            for d in self.deps
+            if d.source.name in a_names and d.target.name in b_names
+        ]
+
+    def mark_cut_satisfied(self, scc_index: dict[str, int]) -> int:
+        """Mark unsatisfied cross-SCC edges as satisfied by an ordering cut.
+
+        ``scc_index`` maps statement name to its position in the SCC order;
+        edges from a lower position to a strictly higher one are satisfied by
+        the scalar dimension that encodes that order.  Returns the number of
+        newly satisfied dependences.
+        """
+        n = 0
+        for d in self.unsatisfied():
+            if scc_index[d.source.name] < scc_index[d.target.name]:
+                d.satisfied_by_cut = True
+                n += 1
+        return n
+
+    def reset(self) -> None:
+        for d in self.deps:
+            d.reset()
+
+    def __len__(self) -> int:
+        return len(self.deps)
+
+    def __str__(self) -> str:
+        return (
+            f"DDG({self.graph.number_of_nodes()} stmts, {len(self.deps)} deps, "
+            f"{len(self.unsatisfied())} unsatisfied)"
+        )

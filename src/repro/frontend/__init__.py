@@ -1,0 +1,28 @@
+"""Front end: polyhedral IR, loop-nest builder, and C-like parser (pet's role)."""
+
+from repro.frontend.body import (
+    BodySyntaxError,
+    extract_accesses,
+    split_assignment,
+    to_python,
+)
+from repro.frontend.builder import ProgramBuilder, parse_condition
+from repro.frontend.exprs import AffineSyntaxError, parse_affine
+from repro.frontend.ir import Access, Program, Statement
+from repro.frontend.parser import ParseError, parse_program
+
+__all__ = [
+    "Access",
+    "AffineSyntaxError",
+    "BodySyntaxError",
+    "ParseError",
+    "Program",
+    "ProgramBuilder",
+    "Statement",
+    "extract_accesses",
+    "parse_affine",
+    "parse_condition",
+    "parse_program",
+    "split_assignment",
+    "to_python",
+]

@@ -1,0 +1,160 @@
+"""Parsing of textual affine expressions like ``"N - 1 - i"`` or ``"2*i + j"``.
+
+Used by the loop-nest builder (bounds, access subscripts) and the C-like
+front-end parser.  The grammar is deliberately tiny — sums of products of an
+integer constant and at most one name — because anything richer is not affine
+and the polyhedral model cannot represent it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator
+
+from repro.polyhedra import AffExpr, Space
+
+__all__ = ["parse_affine", "AffineSyntaxError"]
+
+
+class AffineSyntaxError(ValueError):
+    """Raised when a subscript/bound is not an affine expression."""
+
+
+_TOKEN = re.compile(r"\s*(?:(\d+)|([A-Za-z_]\w*)|([+\-*/()]))")
+
+
+def _tokenize(text: str) -> Iterator[tuple[str, str]]:
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN.match(text, pos)
+        if not m or m.end() == pos:
+            rest = text[pos:].strip()
+            if not rest:
+                return
+            raise AffineSyntaxError(f"unexpected input {rest!r} in {text!r}")
+        pos = m.end()
+        if m.group(1):
+            yield ("num", m.group(1))
+        elif m.group(2):
+            yield ("name", m.group(2))
+        else:
+            yield ("op", m.group(3))
+    return
+
+
+class _Parser:
+    """Recursive descent: expr := term (('+'|'-') term)* ;
+    term := factor ('*' factor)* ; factor := num | name | '-'factor | '(' expr ')'.
+
+    Products are checked for affinity (at most one name per product, and
+    divisions only by exact integer constants of constant subexpressions).
+    """
+
+    def __init__(self, space: Space, text: str):
+        self.space = space
+        self.text = text
+        self.tokens = list(_tokenize(text))
+        self.pos = 0
+
+    def peek(self) -> tuple[str, str] | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def advance(self) -> tuple[str, str]:
+        tok = self.peek()
+        if tok is None:
+            raise AffineSyntaxError(f"unexpected end of expression in {self.text!r}")
+        self.pos += 1
+        return tok
+
+    def parse(self) -> AffExpr:
+        e = self.expr()
+        if self.peek() is not None:
+            raise AffineSyntaxError(f"trailing tokens in {self.text!r}")
+        return e
+
+    def expr(self) -> AffExpr:
+        e = self.term()
+        while True:
+            tok = self.peek()
+            if tok and tok == ("op", "+"):
+                self.advance()
+                e = e + self.term()
+            elif tok and tok == ("op", "-"):
+                self.advance()
+                e = e - self.term()
+            else:
+                return e
+
+    def term(self) -> AffExpr:
+        e = self.factor()
+        while True:
+            tok = self.peek()
+            if tok and tok == ("op", "*"):
+                self.advance()
+                rhs = self.factor()
+                e = _affine_product(e, rhs, self.text)
+            elif tok and tok == ("op", "/"):
+                self.advance()
+                rhs = self.factor()
+                e = _affine_quotient(e, rhs, self.text)
+            else:
+                return e
+
+    def factor(self) -> AffExpr:
+        kind, value = self.advance()
+        if kind == "num":
+            return AffExpr.const(self.space, int(value))
+        if kind == "name":
+            try:
+                return AffExpr.var(self.space, value)
+            except KeyError:
+                raise AffineSyntaxError(
+                    f"unknown name {value!r} in {self.text!r} "
+                    f"(space is {self.space})"
+                ) from None
+        if (kind, value) == ("op", "-"):
+            return -self.factor()
+        if (kind, value) == ("op", "+"):
+            return self.factor()
+        if (kind, value) == ("op", "("):
+            e = self.expr()
+            tok = self.advance()
+            if tok != ("op", ")"):
+                raise AffineSyntaxError(f"missing ')' in {self.text!r}")
+            return e
+        raise AffineSyntaxError(f"unexpected token {value!r} in {self.text!r}")
+
+
+def _affine_product(a: AffExpr, b: AffExpr, text: str) -> AffExpr:
+    if a.is_constant():
+        return b * a.const_term
+    if b.is_constant():
+        return a * b.const_term
+    raise AffineSyntaxError(f"non-affine product in {text!r}")
+
+
+def _affine_quotient(a: AffExpr, b: AffExpr, text: str) -> AffExpr:
+    if not b.is_constant() or b.const_term == 0:
+        raise AffineSyntaxError(f"non-affine division in {text!r}")
+    k = b.const_term
+    if any(c % k for c in a.coeffs):
+        raise AffineSyntaxError(
+            f"inexact division by {k} in {text!r} (not an affine expression)"
+        )
+    return AffExpr(a.space, [c // k for c in a.coeffs])
+
+
+def parse_affine(space: Space, text) -> AffExpr:
+    """Parse ``text`` into an :class:`AffExpr` over ``space``.
+
+    Integers and :class:`AffExpr` values pass through (after a space check),
+    which lets APIs accept ``0``, ``"N-1"``, or prebuilt expressions
+    interchangeably.
+    """
+    if isinstance(text, AffExpr):
+        if text.space != space:
+            return text.rebase(space)
+        return text
+    if isinstance(text, int):
+        return AffExpr.const(space, text)
+    return _Parser(space, str(text)).parse()

@@ -1,0 +1,35 @@
+"""Integer linear programming with a lexicographic objective.
+
+The exact backend (rational simplex + branch-and-bound) plays the role PIP
+plays in the paper; the HiGHS backend plays GLPK's role for large models.
+"""
+
+from repro.ilp.branch_bound import (
+    BranchAndBoundError,
+    ILPResult,
+    ILPStatus,
+    solve_ilp,
+)
+from repro.ilp.highs_backend import solve_ilp_highs
+from repro.ilp.lexmin import AUTO_THRESHOLD, LexminResult, lexmin, pick_backend
+from repro.ilp.model import ILPModel, LinearConstraint, SolveStats, Variable
+from repro.ilp.simplex import LPResult, LPStatus, solve_lp
+
+__all__ = [
+    "AUTO_THRESHOLD",
+    "BranchAndBoundError",
+    "ILPModel",
+    "ILPResult",
+    "ILPStatus",
+    "LexminResult",
+    "LinearConstraint",
+    "LPResult",
+    "LPStatus",
+    "SolveStats",
+    "Variable",
+    "lexmin",
+    "pick_backend",
+    "solve_ilp",
+    "solve_ilp_highs",
+    "solve_lp",
+]

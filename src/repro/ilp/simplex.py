@@ -1,0 +1,296 @@
+"""Exact two-phase primal simplex over rational arithmetic.
+
+This is the reproduction's stand-in for PIP's exact LP core: every pivot is
+performed with :class:`fractions.Fraction`, so results are exact and the
+branch-and-bound layer above (:mod:`repro.ilp.branch_bound`) never has to
+reason about floating-point tolerances.  Bland's rule is used throughout,
+which guarantees termination (no cycling).
+
+The entry point is :func:`solve_lp`, which takes an
+:class:`~repro.ilp.model.ILPModel` (bounds and constraints), an objective as a
+``{var: coeff}`` mapping, and optional extra constraints (used by
+branch-and-bound for branching cuts).  Integrality flags on the model are
+ignored here — this is the relaxation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from fractions import Fraction
+from typing import Mapping, Optional, Sequence
+
+from repro.ilp.model import ILPModel, LinearConstraint
+
+__all__ = ["LPResult", "LPStatus", "solve_lp"]
+
+_ZERO = Fraction(0)
+_ONE = Fraction(1)
+
+
+class LPStatus:
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+
+@dataclass
+class LPResult:
+    status: str
+    objective: Optional[Fraction] = None
+    assignment: dict[str, Fraction] = field(default_factory=dict)
+    pivots: int = 0
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == LPStatus.OPTIMAL
+
+
+class _Tableau:
+    """Dense simplex tableau ``[A | b]`` with an explicit basis."""
+
+    def __init__(self, rows: list[list[Fraction]], basis: list[int], ncols: int):
+        self.rows = rows          # m rows, each of length ncols + 1 (rhs last)
+        self.basis = basis        # basis[i] = column basic in row i
+        self.ncols = ncols
+        self.pivots = 0
+
+    def pivot(self, r: int, c: int) -> None:
+        rows = self.rows
+        prow = rows[r]
+        pv = prow[c]
+        inv = _ONE / pv
+        rows[r] = prow = [x * inv for x in prow]
+        for i, row in enumerate(rows):
+            if i == r:
+                continue
+            f = row[c]
+            if f != 0:
+                rows[i] = [a - f * b for a, b in zip(row, prow)]
+        self.basis[r] = c
+        self.pivots += 1
+
+    def reduced_costs(self, cost: list[Fraction]) -> list[Fraction]:
+        """``c_j - c_B . B^-1 A_j`` for every column (rhs column excluded)."""
+        red = list(cost)
+        for i, b in enumerate(self.basis):
+            ci = cost[b]
+            if ci == 0:
+                continue
+            row = self.rows[i]
+            for j in range(self.ncols):
+                if row[j] != 0:
+                    red[j] -= ci * row[j]
+        return red
+
+    def objective_value(self, cost: list[Fraction]) -> Fraction:
+        total = _ZERO
+        for i, b in enumerate(self.basis):
+            if cost[b] != 0:
+                total += cost[b] * self.rows[i][self.ncols]
+        return total
+
+    def run(self, cost: list[Fraction], allowed_cols: Optional[set[int]] = None) -> str:
+        """Minimize ``cost . x`` with Bland's rule.  Returns a status string."""
+        n = self.ncols
+        while True:
+            red = self.reduced_costs(cost)
+            entering = -1
+            for j in range(n):
+                if allowed_cols is not None and j not in allowed_cols:
+                    continue
+                if red[j] < 0:
+                    entering = j
+                    break
+            if entering < 0:
+                return LPStatus.OPTIMAL
+            # Ratio test; Bland tie-break on smallest basis column index.
+            leaving = -1
+            best_ratio: Optional[Fraction] = None
+            for i, row in enumerate(self.rows):
+                a = row[entering]
+                if a > 0:
+                    ratio = row[n] / a
+                    if (
+                        best_ratio is None
+                        or ratio < best_ratio
+                        or (ratio == best_ratio and self.basis[i] < self.basis[leaving])
+                    ):
+                        best_ratio = ratio
+                        leaving = i
+            if leaving < 0:
+                return LPStatus.UNBOUNDED
+            self.pivot(leaving, entering)
+
+
+def _standard_form(model: ILPModel, extra: Sequence[LinearConstraint]):
+    """Translate the model to ``A y = b`` with ``y >= 0`` and ``b >= 0``.
+
+    Variable handling:
+
+    * lower-bounded ``x >= l``: substitute ``x = l + y``, ``y >= 0``;
+      an upper bound adds the row ``u - x >= 0``;
+    * upper-only ``x <= u``: substitute ``x = u - y``, ``y >= 0``;
+    * free: split ``x = y+ - y-``.
+
+    Returns ``(col_names, rows, row_slack_col, ncols, recover)`` where
+    ``row_slack_col[i]`` is the slack/surplus column of row ``i`` (or ``None``
+    for an equality row) and ``recover`` maps a standard-form solution vector
+    back to an assignment over the model's variables.
+    """
+    col_names: list[str] = []
+    var_map: dict[str, tuple] = {}
+    bound_rows: list[tuple[dict[str, int], int, bool]] = []
+
+    for var in model.variables.values():
+        if var.lower is not None:
+            col = len(col_names)
+            col_names.append(var.name)
+            var_map[var.name] = ("shift", col, Fraction(var.lower))
+            if var.upper is not None:
+                bound_rows.append(({var.name: -1}, var.upper, False))
+        elif var.upper is not None:
+            col = len(col_names)
+            col_names.append(var.name + "~neg")
+            var_map[var.name] = ("neg", col, Fraction(var.upper))
+        else:
+            cp = len(col_names)
+            col_names.append(var.name + "~p")
+            cm = len(col_names)
+            col_names.append(var.name + "~m")
+            var_map[var.name] = ("split", cp, cm)
+
+    structural = len(col_names)
+    raw: list[tuple[list[Fraction], Fraction, bool]] = []
+
+    def _append(coeffs: Mapping[str, int | Fraction], const, equality: bool) -> None:
+        row = [_ZERO] * structural
+        rhs = -Fraction(const)  # expr + const >= 0  =>  expr >= -const
+        for name, coef in coeffs.items():
+            coef = Fraction(coef)
+            kind = var_map[name]
+            if kind[0] == "shift":
+                row[kind[1]] += coef
+                rhs -= coef * kind[2]
+            elif kind[0] == "neg":
+                row[kind[1]] -= coef
+                rhs -= coef * kind[2]
+            else:
+                row[kind[1]] += coef
+                row[kind[2]] -= coef
+        raw.append((row, rhs, equality))
+
+    for con in list(model.constraints) + list(extra):
+        _append(con.coeffs, con.const, con.equality)
+    for coeffs, const, equality in bound_rows:
+        _append(coeffs, const, equality)
+
+    # Attach one slack/surplus column per inequality row, then normalize signs
+    # so every rhs is non-negative.
+    m = len(raw)
+    row_slack_col: list[Optional[int]] = [None] * m
+    n_slacks = 0
+    for i, (_, _, equality) in enumerate(raw):
+        if not equality:
+            row_slack_col[i] = structural + n_slacks
+            n_slacks += 1
+    ncols = structural + n_slacks
+
+    rows: list[list[Fraction]] = []
+    for i, (row, rhs, _equality) in enumerate(raw):
+        full = row + [_ZERO] * n_slacks + [rhs]
+        sc = row_slack_col[i]
+        if sc is not None:
+            full[sc] = Fraction(-1)  # expr - s = rhs (surplus form)
+        if full[ncols] < 0:
+            full = [-x for x in full]
+        rows.append(full)
+
+    def recover(solution: list[Fraction]) -> dict[str, Fraction]:
+        out: dict[str, Fraction] = {}
+        for name, kind in var_map.items():
+            if kind[0] == "shift":
+                out[name] = solution[kind[1]] + kind[2]
+            elif kind[0] == "neg":
+                out[name] = kind[2] - solution[kind[1]]
+            else:
+                out[name] = solution[kind[1]] - solution[kind[2]]
+        return out
+
+    return col_names, rows, row_slack_col, ncols, recover
+
+
+def solve_lp(
+    model: ILPModel,
+    objective: Mapping[str, int | Fraction],
+    extra: Sequence[LinearConstraint] = (),
+) -> LPResult:
+    """Minimize ``objective . x`` subject to the model's constraints and bounds.
+
+    Integer flags are ignored (LP relaxation).  Returns an :class:`LPResult`
+    whose ``assignment`` covers every model variable when optimal.
+    """
+    for name in objective:
+        if name not in model.variables:
+            raise KeyError(f"objective references unknown variable {name!r}")
+
+    col_names, rows, row_slack_col, ncols, recover = _standard_form(model, extra)
+    m = len(rows)
+
+    # Initial basis: a row's own slack column when it survived sign
+    # normalization with coefficient +1, otherwise a fresh artificial column.
+    basis = [-1] * m
+    art_cols: list[int] = []
+    total_cols = ncols
+    for i in range(m):
+        sc = row_slack_col[i]
+        if sc is not None and rows[i][sc] == 1:
+            basis[i] = sc
+
+    for i in range(m):
+        if basis[i] >= 0:
+            continue
+        for row in rows:
+            row.insert(total_cols, _ZERO)
+        rows[i][total_cols] = _ONE
+        art_cols.append(total_cols)
+        basis[i] = total_cols
+        total_cols += 1
+
+    tab = _Tableau(rows, basis, total_cols)
+
+    allowed: Optional[set[int]] = None
+    if art_cols:
+        phase1_cost = [_ZERO] * total_cols
+        for c in art_cols:
+            phase1_cost[c] = _ONE
+        status = tab.run(phase1_cost)
+        if status != LPStatus.OPTIMAL or tab.objective_value(phase1_cost) != 0:
+            return LPResult(LPStatus.INFEASIBLE, pivots=tab.pivots)
+        # Drive lingering artificials out of the basis (degenerate rows); a
+        # row with no non-artificial nonzero is redundant and may keep its
+        # artificial at value zero harmlessly.
+        art_set = set(art_cols)
+        for i in range(m):
+            if tab.basis[i] in art_set:
+                row = tab.rows[i]
+                entering = next((j for j in range(ncols) if row[j] != 0), None)
+                if entering is not None:
+                    tab.pivot(i, entering)
+        allowed = set(range(total_cols)) - art_set
+
+    cost = [_ZERO] * total_cols
+    for j, name in enumerate(col_names):
+        base = name.split("~")[0]
+        if base in objective:
+            coef = Fraction(objective[base])
+            cost[j] = -coef if name.endswith(("~m", "~neg")) else coef
+    status = tab.run(cost, allowed_cols=allowed)
+    if status == LPStatus.UNBOUNDED:
+        return LPResult(LPStatus.UNBOUNDED, pivots=tab.pivots)
+
+    solution = [_ZERO] * total_cols
+    for i in range(m):
+        solution[tab.basis[i]] = tab.rows[i][tab.ncols]
+    assignment = recover(solution)
+    obj_val = sum((Fraction(c) * assignment[n] for n, c in objective.items()), _ZERO)
+    return LPResult(LPStatus.OPTIMAL, obj_val, assignment, tab.pivots)

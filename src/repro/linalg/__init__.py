@@ -1,0 +1,10 @@
+"""Exact rational linear algebra used by the polyhedral scheduler."""
+
+from repro.linalg.fraction_matrix import (
+    FMatrix,
+    integer_normalize_row,
+    lcm,
+    orthogonal_complement,
+)
+
+__all__ = ["FMatrix", "integer_normalize_row", "lcm", "orthogonal_complement"]

@@ -1,0 +1,242 @@
+"""Exact rational dense linear algebra over :class:`fractions.Fraction`.
+
+The scheduler (:mod:`repro.core`) needs *exact* arithmetic: the orthogonal
+sub-space of previously found hyperplanes (``H_perp`` in the paper, Section
+3.4) must be an exact integer basis, and a floating-point nullspace would
+introduce spurious coefficients that corrupt the radix-encoded linear
+independence constraints.  Matrices here are small (statement dimensionality,
+at most a dozen rows/columns), so a straightforward pure-Python implementation
+is both adequate and dependable.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from math import gcd
+from typing import Iterable, Sequence
+
+__all__ = [
+    "FMatrix",
+    "integer_normalize_row",
+    "lcm",
+    "orthogonal_complement",
+]
+
+
+def lcm(a: int, b: int) -> int:
+    """Least common multiple of two non-negative integers (``lcm(0, x) == x``)."""
+    if a == 0:
+        return abs(b)
+    if b == 0:
+        return abs(a)
+    return abs(a * b) // gcd(a, b)
+
+
+def integer_normalize_row(row: Sequence[Fraction | int]) -> list[int]:
+    """Scale a rational row to the smallest integer row with the same direction.
+
+    Multiplies by the LCM of the denominators and divides by the GCD of the
+    resulting integers.  The sign of the row is preserved.  A zero row maps to
+    a zero row.
+    """
+    fracs = [Fraction(x) for x in row]
+    denom_lcm = 1
+    for f in fracs:
+        denom_lcm = lcm(denom_lcm, f.denominator)
+    ints = [int(f * denom_lcm) for f in fracs]
+    g = 0
+    for v in ints:
+        g = gcd(g, abs(v))
+    if g > 1:
+        ints = [v // g for v in ints]
+    return ints
+
+
+class FMatrix:
+    """A dense matrix of :class:`fractions.Fraction` entries.
+
+    Supports the handful of exact operations the scheduler needs: RREF, rank,
+    nullspace, inverse, products, and integer row normalization.  Instances
+    are immutable from the caller's perspective; all operations return new
+    matrices.
+    """
+
+    __slots__ = ("rows", "nrows", "ncols")
+
+    def __init__(self, rows: Iterable[Iterable[Fraction | int]]):
+        self.rows: list[list[Fraction]] = [
+            [Fraction(x) for x in row] for row in rows
+        ]
+        self.nrows = len(self.rows)
+        self.ncols = len(self.rows[0]) if self.rows else 0
+        for row in self.rows:
+            if len(row) != self.ncols:
+                raise ValueError("ragged rows in FMatrix")
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def identity(cls, n: int) -> "FMatrix":
+        return cls([[Fraction(int(i == j)) for j in range(n)] for i in range(n)])
+
+    @classmethod
+    def zeros(cls, nrows: int, ncols: int) -> "FMatrix":
+        return cls([[Fraction(0)] * ncols for _ in range(nrows)])
+
+    # -- basic accessors ---------------------------------------------------
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.nrows, self.ncols)
+
+    def __getitem__(self, ij: tuple[int, int]) -> Fraction:
+        i, j = ij
+        return self.rows[i][j]
+
+    def row(self, i: int) -> list[Fraction]:
+        return list(self.rows[i])
+
+    def col(self, j: int) -> list[Fraction]:
+        return [r[j] for r in self.rows]
+
+    def tolist(self) -> list[list[Fraction]]:
+        return [list(r) for r in self.rows]
+
+    def to_int_rows(self) -> list[list[int]]:
+        """Each row scaled to its smallest integer representative."""
+        return [integer_normalize_row(r) for r in self.rows]
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FMatrix) and self.rows == other.rows
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key in hot paths
+        return hash(tuple(tuple(r) for r in self.rows))
+
+    def __repr__(self) -> str:
+        body = "; ".join(
+            " ".join(str(x) for x in row) for row in self.rows
+        )
+        return f"FMatrix[{self.nrows}x{self.ncols}]({body})"
+
+    # -- algebra -----------------------------------------------------------
+
+    def transpose(self) -> "FMatrix":
+        return FMatrix(
+            [[self.rows[i][j] for i in range(self.nrows)] for j in range(self.ncols)]
+        )
+
+    def matmul(self, other: "FMatrix") -> "FMatrix":
+        if self.ncols != other.nrows:
+            raise ValueError(
+                f"shape mismatch: {self.shape} @ {other.shape}"
+            )
+        ot = other.transpose()
+        return FMatrix(
+            [
+                [
+                    sum((a * b for a, b in zip(row, ocol)), Fraction(0))
+                    for ocol in ot.rows
+                ]
+                for row in self.rows
+            ]
+        )
+
+    def __matmul__(self, other: "FMatrix") -> "FMatrix":
+        return self.matmul(other)
+
+    def matvec(self, vec: Sequence[Fraction | int]) -> list[Fraction]:
+        v = [Fraction(x) for x in vec]
+        if len(v) != self.ncols:
+            raise ValueError("vector length mismatch")
+        return [sum((a * b for a, b in zip(row, v)), Fraction(0)) for row in self.rows]
+
+    # -- elimination -------------------------------------------------------
+
+    def rref(self) -> tuple["FMatrix", list[int]]:
+        """Reduced row echelon form.
+
+        Returns the RREF matrix and the list of pivot column indices.
+        """
+        m = [list(r) for r in self.rows]
+        pivots: list[int] = []
+        r = 0
+        for c in range(self.ncols):
+            if r >= self.nrows:
+                break
+            pivot = None
+            for i in range(r, self.nrows):
+                if m[i][c] != 0:
+                    pivot = i
+                    break
+            if pivot is None:
+                continue
+            m[r], m[pivot] = m[pivot], m[r]
+            pv = m[r][c]
+            m[r] = [x / pv for x in m[r]]
+            for i in range(self.nrows):
+                if i != r and m[i][c] != 0:
+                    f = m[i][c]
+                    m[i] = [a - f * b for a, b in zip(m[i], m[r])]
+            pivots.append(c)
+            r += 1
+        return FMatrix(m), pivots
+
+    def rank(self) -> int:
+        _, pivots = self.rref()
+        return len(pivots)
+
+    def nullspace(self) -> "FMatrix":
+        """A basis for the (right) nullspace, one basis vector per row.
+
+        Returns a matrix with ``ncols - rank`` rows; the empty matrix
+        (0 rows, ``ncols`` columns) when the matrix has full column rank.
+        """
+        rref, pivots = self.rref()
+        free = [c for c in range(self.ncols) if c not in pivots]
+        basis: list[list[Fraction]] = []
+        for fc in free:
+            vec = [Fraction(0)] * self.ncols
+            vec[fc] = Fraction(1)
+            for r_idx, pc in enumerate(pivots):
+                vec[pc] = -rref.rows[r_idx][fc]
+            basis.append(vec)
+        if not basis:
+            return FMatrix.zeros(0, self.ncols)
+        return FMatrix(basis)
+
+    def inverse(self) -> "FMatrix":
+        if self.nrows != self.ncols:
+            raise ValueError("inverse of a non-square matrix")
+        n = self.nrows
+        aug = FMatrix(
+            [
+                list(self.rows[i]) + [Fraction(int(i == j)) for j in range(n)]
+                for i in range(n)
+            ]
+        )
+        rref, pivots = aug.rref()
+        if pivots[:n] != list(range(n)):
+            raise ValueError("matrix is singular")
+        return FMatrix([row[n:] for row in rref.rows])
+
+    def solve(self, rhs: Sequence[Fraction | int]) -> list[Fraction]:
+        """Solve ``A x = rhs`` for square non-singular ``A``."""
+        inv = self.inverse()
+        return inv.matvec(rhs)
+
+
+def orthogonal_complement(h_rows: Sequence[Sequence[int]], ncols: int) -> list[list[int]]:
+    """Integer basis of the sub-space orthogonal to the row space of ``H``.
+
+    This is ``H_perp`` from Section 3.4 of the paper: every returned row ``r``
+    satisfies ``r . h == 0`` for every row ``h`` of ``H``.  Rows are reduced to
+    their smallest integer representatives.  When ``H`` is empty, the identity
+    basis is returned (the whole space is orthogonal to nothing).
+    """
+    if not h_rows:
+        return [[int(i == j) for j in range(ncols)] for i in range(ncols)]
+    mat = FMatrix(h_rows)
+    if mat.ncols != ncols:
+        raise ValueError("H row length does not match ncols")
+    null = mat.nullspace()
+    return [integer_normalize_row(r) for r in null.rows]

@@ -1,0 +1,83 @@
+"""Machine description (Table 1): 2-way SMP Intel Xeon E5-2680.
+
+The paper's testbed is modeled as a roofline-style analytic machine: per-core
+compute throughput, a per-socket memory-bandwidth saturation curve, cache
+capacities for tile working-set checks, and synchronization costs.  The
+sustained-bandwidth and single-core-bandwidth constants are set to typical
+measured values for this platform (STREAM-like), not theoretical peaks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MachineModel", "XEON_E5_2680"]
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    name: str
+    clock_ghz: float
+    cores_per_socket: int
+    sockets: int
+    flops_per_cycle: float            # DP flops per cycle per core (SIMD)
+    l1_kb: int
+    l2_kb: int                        # per core
+    l3_mb: int                        # per socket
+    peak_gflops: float                # Table 1 headline
+    single_core_bw_gbs: float         # sustained, one core
+    socket_bw_gbs: float              # sustained, saturated socket
+    barrier_latency_us: float = 8.0   # OpenMP barrier at 16 threads
+
+    @property
+    def total_cores(self) -> int:
+        return self.cores_per_socket * self.sockets
+
+    def core_peak_gflops(self) -> float:
+        return self.clock_ghz * self.flops_per_cycle
+
+    def compute_gflops(self, cores: int, vector_efficiency: float = 1.0) -> float:
+        cores = min(cores, self.total_cores)
+        return cores * self.core_peak_gflops() * vector_efficiency
+
+    def bandwidth_gbs(self, cores: int, scatter: bool = True) -> float:
+        """Sustained aggregate bandwidth for ``cores`` active cores.
+
+        The default KMP affinity in the paper is ``scatter``: threads spread
+        across both sockets, so even low thread counts draw on both memory
+        controllers; each socket's bandwidth saturates with the number of
+        cores resident on it.
+        """
+        cores = min(cores, self.total_cores)
+        if cores <= 0:
+            return 0.0
+        if scatter:
+            per_socket = [cores - cores // 2, cores // 2]
+        else:
+            first = min(cores, self.cores_per_socket)
+            per_socket = [first, cores - first]
+        total = 0.0
+        for n in per_socket:
+            if n > 0:
+                total += min(n * self.single_core_bw_gbs, self.socket_bw_gbs)
+        return total
+
+    def cache_per_core_bytes(self) -> int:
+        """Effective per-core capacity for tile working sets (L2 + L3 share)."""
+        return self.l2_kb * 1024 + (self.l3_mb * 1024 * 1024) // self.cores_per_socket
+
+
+#: Table 1 of the paper.
+XEON_E5_2680 = MachineModel(
+    name="2x Intel Xeon E5-2680 (Sandy Bridge)",
+    clock_ghz=2.7,
+    cores_per_socket=8,
+    sockets=2,
+    flops_per_cycle=4.0,              # 172.8 GF / 16 cores / 2.7 GHz
+    l1_kb=32,
+    l2_kb=512,
+    l3_mb=20,
+    peak_gflops=172.8,
+    single_core_bw_gbs=14.0,
+    socket_bw_gbs=32.0,
+)

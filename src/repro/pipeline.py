@@ -1,0 +1,195 @@
+"""End-to-end source-to-source optimization pipeline.
+
+Mirrors the paper's toolchain stages and timing breakdown (Table 3, Fig. 5):
+
+1. **dependence analysis**      — :mod:`repro.deps` (ISL's role);
+2. **automatic transformation** — index-set splitting (``--iss``), diamond
+   tiling search (``--partlbtile``), and the Pluto/Pluto+ ILP scheduler;
+3. **code generation**          — :mod:`repro.codegen` (CLooG's role);
+4. **misc/other**               — hyperplane properties, tilable-band
+   handling, tiling (post-transformation analyses, as in the paper).
+
+``optimize()`` returns the transformed program, schedules, generated code,
+and a per-stage :class:`TimingBreakdown`.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.codegen import generate_python
+from repro.core.diamond import find_diamond_schedule
+from repro.core.iss import index_set_split
+from repro.core.properties import mark_parallelism
+from repro.core.scheduler import PlutoScheduler, SchedulerOptions, SchedulerStats
+from repro.core.tiling import (
+    TiledSchedule,
+    l2_tile_schedule,
+    optimize_intra_tile,
+    tile_schedule,
+    untiled_schedule,
+)
+from repro.core.transform import Schedule
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend.ir import Program
+
+__all__ = ["PipelineOptions", "TimingBreakdown", "OptimizationResult", "optimize"]
+
+
+@dataclass
+class PipelineOptions:
+    """Pipeline configuration (the paper's command-line flags).
+
+    ``--tile --parallel`` are the paper's defaults for all benchmarks;
+    ``--iss`` and ``--partlbtile`` (diamond) are enabled for the periodic
+    stencil suite.
+    """
+
+    algorithm: str = "plutoplus"      # "pluto" | "plutoplus"
+    tile: bool = True
+    tile_size: int = 32
+    iss: bool = False                 # --iss
+    diamond: bool = False             # --partlbtile
+    coeff_bound: int = 4              # Pluto+ b
+    ilp_backend: str = "highs"
+    min_band_width: int = 2
+    fuse: str = "smart"               # --fuse: smart | max | no
+    l2tile: bool = False              # --l2tile: second level of tiling
+    l2_ratio: int = 8
+    intra_tile: bool = False          # post-pass: rotate parallel loop inward
+
+    def scheduler_options(self) -> SchedulerOptions:
+        return SchedulerOptions(
+            algorithm=self.algorithm,
+            coeff_bound=self.coeff_bound,
+            ilp_backend=self.ilp_backend,
+            fuse=self.fuse,
+        )
+
+
+@dataclass
+class TimingBreakdown:
+    """Seconds per pipeline stage (the Fig. 5 components)."""
+
+    dependence_analysis: float = 0.0
+    auto_transformation: float = 0.0
+    code_generation: float = 0.0
+    misc: float = 0.0
+
+    @property
+    def total(self) -> float:
+        return (
+            self.dependence_analysis
+            + self.auto_transformation
+            + self.code_generation
+            + self.misc
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "dependence_analysis": self.dependence_analysis,
+            "auto_transformation": self.auto_transformation,
+            "code_generation": self.code_generation,
+            "misc": self.misc,
+            "total": self.total,
+        }
+
+
+@dataclass
+class OptimizationResult:
+    program: Program                  # post-ISS program actually scheduled
+    source_program: Program           # what the user passed in
+    schedule: Schedule
+    tiled: TiledSchedule
+    code: object                      # GeneratedCode
+    timing: TimingBreakdown
+    scheduler_stats: Optional[SchedulerStats] = None
+    used_iss: bool = False
+    used_diamond: bool = False
+    options: Optional[PipelineOptions] = None
+
+    def summary(self) -> str:
+        lines = [
+            f"{self.source_program.name} [{self.options.algorithm if self.options else '?'}]",
+            f"  ISS: {self.used_iss}, diamond: {self.used_diamond}",
+            f"  schedule depth {self.schedule.depth}, "
+            f"bands {[str(b) for b in self.schedule.bands]}",
+            f"  timing: {self.timing.as_dict()}",
+        ]
+        return "\n".join(lines)
+
+
+def optimize(program: Program, options: Optional[PipelineOptions] = None) -> OptimizationResult:
+    """Run the full polyhedral source-to-source pipeline on ``program``."""
+    options = options or PipelineOptions()
+    timing = TimingBreakdown()
+
+    t0 = time.perf_counter()
+    deps = compute_dependences(program)
+    timing.dependence_analysis = time.perf_counter() - t0
+
+    used_iss = False
+    work = program
+    if options.iss:
+        t0 = time.perf_counter()
+        work, used_iss = index_set_split(program, deps)
+        timing.auto_transformation += time.perf_counter() - t0
+        if used_iss:
+            t0 = time.perf_counter()
+            deps = compute_dependences(work)
+            timing.dependence_analysis += time.perf_counter() - t0
+
+    ddg = DependenceGraph(work, deps)
+    sched_opts = options.scheduler_options()
+
+    schedule: Optional[Schedule] = None
+    used_diamond = False
+    stats: Optional[SchedulerStats] = None
+
+    t0 = time.perf_counter()
+    if options.diamond:
+        schedule = find_diamond_schedule(work, ddg, sched_opts)
+        used_diamond = schedule is not None
+    if schedule is None:
+        scheduler = PlutoScheduler(work, ddg, sched_opts)
+        schedule = scheduler.schedule()
+        stats = scheduler.stats
+    timing.auto_transformation += time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    mark_parallelism(schedule, ddg)
+    if options.tile:
+        tiled = tile_schedule(
+            schedule,
+            tile_size=options.tile_size,
+            min_band_width=options.min_band_width,
+        )
+    else:
+        tiled = untiled_schedule(schedule)
+    if options.l2tile:
+        tiled = l2_tile_schedule(tiled, ratio=options.l2_ratio)
+    if options.intra_tile:
+        tiled = optimize_intra_tile(tiled)
+    timing.misc = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    code = generate_python(tiled)
+    # Force scan-system construction and source emission (the expensive part
+    # of code generation) inside the timed region; compilation is lazy.
+    _ = code.python_source
+    timing.code_generation = time.perf_counter() - t0
+
+    return OptimizationResult(
+        program=work,
+        source_program=program,
+        schedule=schedule,
+        tiled=tiled,
+        code=code,
+        timing=timing,
+        scheduler_stats=stats,
+        used_iss=used_iss,
+        used_diamond=used_diamond,
+        options=options,
+    )

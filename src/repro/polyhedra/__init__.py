@@ -1,0 +1,25 @@
+"""Polyhedral set and map machinery (the ISL-role substrate)."""
+
+from repro.polyhedra.affine import AffExpr, Space
+from repro.polyhedra.constraints import Constraint, eq, ineq
+from repro.polyhedra.fourier_motzkin import (
+    eliminate_column,
+    eliminate_columns,
+    normalize_rows,
+)
+from repro.polyhedra.maps import AffineMap
+from repro.polyhedra.sets import BasicSet, UnionSet
+
+__all__ = [
+    "AffExpr",
+    "AffineMap",
+    "BasicSet",
+    "Constraint",
+    "Space",
+    "UnionSet",
+    "eliminate_column",
+    "eliminate_columns",
+    "eq",
+    "ineq",
+    "normalize_rows",
+]

@@ -1,0 +1,299 @@
+"""Integer sets bounded by affine constraints (index sets, dependence polyhedra).
+
+:class:`BasicSet` is a conjunction of constraints over a
+:class:`~repro.polyhedra.affine.Space`; :class:`UnionSet` is a finite union of
+basic sets sharing a space (produced by index-set splitting).  Emptiness,
+lexmin and expression-minimum queries are answered through the exact ILP
+stack (:mod:`repro.ilp`), so answers on integer points are exact.
+"""
+
+from __future__ import annotations
+
+import itertools
+from fractions import Fraction
+from typing import Iterable, Mapping, Optional, Sequence
+
+from repro.ilp import ILPModel, ILPStatus, lexmin as ilp_lexmin, solve_ilp
+from repro.ilp.highs_backend import solve_ilp_highs
+from repro.polyhedra.affine import AffExpr, Space
+from repro.polyhedra.constraints import Constraint
+from repro.polyhedra.fourier_motzkin import Row, eliminate_columns, normalize_rows
+
+__all__ = ["BasicSet", "UnionSet"]
+
+
+class BasicSet:
+    """The integer points satisfying a conjunction of affine constraints."""
+
+    def __init__(self, space: Space, constraints: Iterable[Constraint] = ()):
+        self.space = space
+        self.constraints: list[Constraint] = []
+        for con in constraints:
+            self.add(con)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def universe(cls, space: Space) -> "BasicSet":
+        return cls(space)
+
+    @classmethod
+    def from_bounds(
+        cls,
+        space: Space,
+        bounds: Mapping[str, tuple],
+    ) -> "BasicSet":
+        """Box-style constructor: ``bounds[dim] = (lb_expr, ub_expr)``.
+
+        Each bound may be an int, a dim/param name, or an :class:`AffExpr`;
+        the set is ``lb <= dim <= ub`` for every entry.
+        """
+        bs = cls(space)
+        for name, (lb, ub) in bounds.items():
+            d = AffExpr.var(space, name)
+            bs.add(Constraint(d - _as_expr(space, lb)))
+            bs.add(Constraint(_as_expr(space, ub) - d))
+        return bs
+
+    def add(self, con: Constraint) -> None:
+        if con.space != self.space:
+            con = con.rebase(self.space)
+        if con.is_trivial():
+            return
+        if con not in self.constraints:
+            self.constraints.append(con)
+
+    def copy(self) -> "BasicSet":
+        out = BasicSet(self.space)
+        out.constraints = list(self.constraints)
+        return out
+
+    def intersect(self, other: "BasicSet") -> "BasicSet":
+        out = self.copy()
+        for con in other.constraints:
+            out.add(con)
+        return out
+
+    def rebase(self, target: Space, rename: Mapping[str, str] | None = None) -> "BasicSet":
+        out = BasicSet(target)
+        for con in self.constraints:
+            out.add(con.rebase(target, rename))
+        return out
+
+    # -- queries ----------------------------------------------------------------
+
+    def contains(self, values: Mapping[str, int]) -> bool:
+        return all(con.is_satisfied(values) for con in self.constraints)
+
+    def _to_rows(self) -> list[Row]:
+        return [(con.coeffs, con.equality) for con in self.constraints]
+
+    def _build_model(self) -> ILPModel:
+        model = ILPModel()
+        for name in self.space.names:
+            model.add_variable(name, lower=None)
+        for con in self.constraints:
+            terms = con.expr.terms()
+            model.add_constraint(terms, con.expr.const_term, con.equality)
+        return model
+
+    def _solve(self, objective) -> object:
+        """Integer optimization over the set.
+
+        HiGHS decides these tiny integer-coefficient systems quickly and its
+        rounded solutions are verified against the model; the pure-Python
+        exact branch-and-bound is the fallback when HiGHS declines to answer
+        (it is orders of magnitude slower, so it is not the first choice).
+        """
+        model = self._build_model()
+        res = solve_ilp_highs(model, objective)
+        if res.status in (ILPStatus.OPTIMAL, ILPStatus.INFEASIBLE, ILPStatus.UNBOUNDED):
+            return res
+        return solve_ilp(model, objective)  # pragma: no cover - defensive
+
+    def is_empty(self) -> bool:
+        """Exact integer emptiness."""
+        if any(con.is_contradiction() for con in self.constraints):
+            return True
+        return self._solve({}).status == ILPStatus.INFEASIBLE
+
+    def min_of(self, expr: AffExpr) -> Optional[Fraction]:
+        """Integer minimum of ``expr`` over the set.
+
+        Returns ``None`` when the set is empty; raises on an unbounded
+        direction (callers ask about bounded quantities only).
+        """
+        res = self._solve(expr.terms())
+        if res.status == ILPStatus.INFEASIBLE:
+            return None
+        if res.status == ILPStatus.UNBOUNDED:
+            raise ValueError(f"min of {expr} is unbounded over {self}")
+        return res.objective + expr.const_term
+
+    def max_of(self, expr: AffExpr) -> Optional[Fraction]:
+        m = self.min_of(-expr)
+        return None if m is None else -m
+
+    def lexmin_point(self) -> Optional[dict[str, int]]:
+        """Lexicographically smallest integer point (dims order), if any."""
+        model = self._build_model()
+        model.set_objective_order(list(self.space.dims))
+        res = ilp_lexmin(model, backend="highs")
+        if not res.is_optimal:
+            return None
+        return {d: int(res.assignment[d]) for d in self.space.dims}
+
+    def sample_point(self) -> Optional[dict[str, int]]:
+        point = self.lexmin_point()
+        return point
+
+    def project_out(self, names: Sequence[str]) -> "BasicSet":
+        """Existentially project out the named dims (rational FM shadow).
+
+        Deep projections (code generation) enable LP-based redundancy
+        pruning so the FM cascade stays polynomial in practice.
+        """
+        cols = [self.space.column_of(n) for n in names]
+        rows = eliminate_columns(self._to_rows(), cols, prune_threshold=40)
+        new_space = self.space.drop_dims(names)
+        out = BasicSet(new_space)
+        keep_cols = [
+            i
+            for i, _ in enumerate(self.space.names)
+            if self.space.names[i] not in set(names)
+        ] + [self.space.const_col]
+        for coeffs, equality in rows:
+            assert all(coeffs[c] == 0 for c in cols)
+            sub = tuple(coeffs[i] for i in keep_cols)
+            out.add(Constraint(AffExpr(new_space, sub), equality))
+        return out
+
+    def bounds_for(self, name: str) -> tuple[list[tuple[AffExpr, int]], list[tuple[AffExpr, int]]]:
+        """Per-constraint bounds on ``name`` in terms of the other columns.
+
+        Returns ``(lowers, uppers)``: each entry ``(expr, k)`` means
+        ``name >= ceil(expr / k)`` (lowers) or ``name <= floor(expr / k)``
+        (uppers), with ``expr`` not involving ``name`` and ``k >= 1``.
+        Equalities contribute to both lists.
+        """
+        col = self.space.column_of(name)
+        lowers: list[tuple[AffExpr, int]] = []
+        uppers: list[tuple[AffExpr, int]] = []
+        for con in self.constraints:
+            a = con.coeffs[col]
+            if a == 0:
+                continue
+            rest = list(con.coeffs)
+            rest[col] = 0
+            rest_expr = AffExpr(self.space, rest)
+            if con.equality:
+                # a*name + rest == 0  ->  name bounded both ways by -rest/a
+                if a > 0:
+                    lowers.append((-rest_expr, a))
+                    uppers.append((-rest_expr, a))
+                else:
+                    lowers.append((rest_expr, -a))
+                    uppers.append((rest_expr, -a))
+            elif a > 0:
+                # a*name + rest >= 0  ->  name >= ceil(-rest / a)
+                lowers.append((-rest_expr, a))
+            else:
+                # a*name + rest >= 0, a < 0  ->  name <= floor(rest / -a)
+                uppers.append((rest_expr, -a))
+        return lowers, uppers
+
+    def enumerate_points(
+        self, param_values: Mapping[str, int], limit: int = 1_000_000
+    ) -> list[tuple[int, ...]]:
+        """All integer points (dims order) for fixed parameter values.
+
+        Intended for validation at small sizes; raises if more than ``limit``
+        candidate points would be scanned.
+        """
+        fixed = dict(param_values)
+        box: list[range] = []
+        work = self.copy()
+        for p in self.space.params:
+            if p not in fixed:
+                raise KeyError(f"missing value for parameter {p!r}")
+        # Constrain params to their fixed values, then compute per-dim ranges.
+        for p, v in fixed.items():
+            work.add(
+                Constraint(
+                    AffExpr.var(self.space, p) - AffExpr.const(self.space, v),
+                    equality=True,
+                )
+            )
+        for d in self.space.dims:
+            lo = work.min_of(AffExpr.var(self.space, d))
+            if lo is None:
+                return []
+            hi = work.max_of(AffExpr.var(self.space, d))
+            box.append(range(int(lo), int(hi) + 1))
+        total = 1
+        for r in box:
+            total *= max(len(r), 1)
+            if total > limit:
+                raise ValueError("enumeration box too large")
+        points = []
+        for combo in itertools.product(*box):
+            values = dict(zip(self.space.dims, combo))
+            values.update(fixed)
+            if self.contains(values):
+                points.append(combo)
+        return points
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, BasicSet)
+            and self.space == other.space
+            and set(self.constraints) == set(other.constraints)
+        )
+
+    def __str__(self) -> str:
+        cons = " and ".join(str(c) for c in self.constraints) or "true"
+        return f"{{ {self.space} : {cons} }}"
+
+    __repr__ = __str__
+
+
+class UnionSet:
+    """A finite union of basic sets over one space (e.g. after ISS)."""
+
+    def __init__(self, parts: Sequence[BasicSet]):
+        if not parts:
+            raise ValueError("UnionSet needs at least one part")
+        space = parts[0].space
+        for p in parts:
+            if p.space != space:
+                raise ValueError("UnionSet parts must share a space")
+        self.space = space
+        self.parts = list(parts)
+
+    def is_empty(self) -> bool:
+        return all(p.is_empty() for p in self.parts)
+
+    def contains(self, values: Mapping[str, int]) -> bool:
+        return any(p.contains(values) for p in self.parts)
+
+    def intersect_basic(self, bs: BasicSet) -> "UnionSet":
+        return UnionSet([p.intersect(bs) for p in self.parts])
+
+    def __len__(self) -> int:
+        return len(self.parts)
+
+    def __iter__(self):
+        return iter(self.parts)
+
+    def __str__(self) -> str:
+        return " u ".join(str(p) for p in self.parts)
+
+
+def _as_expr(space: Space, value) -> AffExpr:
+    if isinstance(value, AffExpr):
+        return value
+    if isinstance(value, int):
+        return AffExpr.const(space, value)
+    if isinstance(value, str):
+        return AffExpr.var(space, value)
+    raise TypeError(f"cannot interpret {value!r} as an affine expression")

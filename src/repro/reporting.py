@@ -1,0 +1,98 @@
+"""Table and series formatting for the benchmark harness.
+
+Small, dependency-free helpers that render the paper's tables and figure
+series as monospace text: aligned tables with geometric-mean footers
+(Table 3), normalized stacked fractions (Fig. 5), and ASCII line series
+(Fig. 6).  Kept separate from the benches so the formatting is unit-testable.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Optional, Sequence
+
+__all__ = ["geomean", "format_table", "normalized_breakdown", "ascii_series"]
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean of the positive entries (0.0 if none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    floatfmt: str = "{:.3f}",
+    indent: str = "  ",
+) -> str:
+    """Render an aligned monospace table."""
+
+    def cell(v) -> str:
+        if isinstance(v, float):
+            return floatfmt.format(v)
+        return str(v)
+
+    text_rows = [[cell(v) for v in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in text_rows)) if text_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    out = [indent + "  ".join(h.rjust(w) for h, w in zip(headers, widths))]
+    for row in text_rows:
+        out.append(indent + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(out)
+
+
+def normalized_breakdown(parts: Mapping[str, float]) -> dict[str, float]:
+    """Fractions of the total (all zeros if the total is zero)."""
+    total = sum(parts.values())
+    if total <= 0:
+        return {k: 0.0 for k in parts}
+    return {k: v / total for k, v in parts.items()}
+
+
+def ascii_series(
+    xs: Sequence[float],
+    series: Mapping[str, Sequence[float]],
+    width: int = 48,
+    height: int = 12,
+    logy: bool = False,
+) -> str:
+    """Plot one or more series as ASCII art (Fig. 6 panels in a terminal).
+
+    Each series gets a marker character; points are scattered on a
+    ``height`` x ``width`` grid with linear (or log) y scaling.
+    """
+    markers = "*o+x#@%&"
+    all_vals = [v for vs in series.values() for v in vs if v is not None]
+    if not all_vals or len(xs) < 2:
+        return "(no data)"
+    ymin, ymax = min(all_vals), max(all_vals)
+    if logy:
+        if ymin <= 0:
+            raise ValueError("log scale requires positive values")
+        ymin, ymax = math.log(ymin), math.log(ymax)
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    xmin, xmax = min(xs), max(xs)
+
+    grid = [[" "] * width for _ in range(height)]
+    for si, (name, vs) in enumerate(series.items()):
+        mark = markers[si % len(markers)]
+        for x, v in zip(xs, vs):
+            if v is None:
+                continue
+            yv = math.log(v) if logy else v
+            col = round((x - xmin) / (xmax - xmin) * (width - 1))
+            row = round((yv - ymin) / (ymax - ymin) * (height - 1))
+            grid[height - 1 - row][col] = mark
+    lines = ["|" + "".join(r) for r in grid]
+    lines.append("+" + "-" * width)
+    legend = "  ".join(
+        f"{markers[i % len(markers)]}={name}" for i, name in enumerate(series)
+    )
+    lines.append(" " + legend)
+    return "\n".join(lines)

@@ -1,0 +1,17 @@
+"""Execution runtime: array allocation, kernel execution, validation."""
+
+from repro.runtime.arrays import allocate_arrays, infer_shapes, random_arrays
+from repro.runtime.validate import (
+    ValidationResult,
+    run_schedule,
+    validate_transformation,
+)
+
+__all__ = [
+    "ValidationResult",
+    "allocate_arrays",
+    "infer_shapes",
+    "random_arrays",
+    "run_schedule",
+    "validate_transformation",
+]

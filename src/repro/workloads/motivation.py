@@ -1,0 +1,85 @@
+"""The paper's Section 2 motivating examples (Figs. 1-4)."""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.workloads.base import Workload, register
+from repro.workloads.periodic import heat_1dp
+
+__all__ = ["fig1_skew", "fig2_symmetric_consumer", "fig3_symmetric_deps", "MOTIVATION"]
+
+
+def fig1_skew():
+    """Fig. 1: single RAW with distance (1, 1); Pluto+ finds the
+    communication-free mapping T(i,j) = (i - j, j) (Section 2.2)."""
+    src = """
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            A[i+1][j+1] = 2.0 * A[i][j];
+    """
+    return parse_program(src, "fig1-skew", params=("N",))
+
+
+def fig2_symmetric_consumer():
+    """Fig. 2: consumer reads producer reflected; fusing with an outer
+    parallel loop needs a reversal (Section 2.1)."""
+    src = """
+    for (i = 0; i < N; i++)
+        b[i] = 2.0 * a[i];
+    for (i = 0; i < N; i++)
+        c[i] = 3.0 * b[N-1-i];
+    """
+    return parse_program(src, "fig2-symmetric-consumer", params=("N",))
+
+
+def fig3_symmetric_deps():
+    """Fig. 3: dependences symmetric about the j mid-line (Section 2.3)."""
+    src = """
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            a[i+1][j] = 2.0 * a[i][N-j-1];
+    """
+    return parse_program(src, "fig3-symmetric-deps", params=("N",))
+
+
+MOTIVATION = [
+    register(
+        Workload(
+            name="fig1-skew",
+            category="motivation",
+            factory=fig1_skew,
+            sizes={"N": 2000},
+            small_sizes={"N": 8},
+        )
+    ),
+    register(
+        Workload(
+            name="fig2-symmetric-consumer",
+            category="motivation",
+            factory=fig2_symmetric_consumer,
+            sizes={"N": 100000},
+            small_sizes={"N": 9},
+        )
+    ),
+    register(
+        Workload(
+            name="fig3-symmetric-deps",
+            category="motivation",
+            factory=fig3_symmetric_deps,
+            sizes={"N": 2000},
+            small_sizes={"N": 8},
+            iss=True,
+        )
+    ),
+    register(
+        Workload(
+            name="fig4-periodic-stencil",
+            category="motivation",
+            factory=heat_1dp,
+            sizes={"N": 100000, "T": 1000},
+            small_sizes={"N": 12, "T": 5},
+            iss=True,
+            diamond=True,
+        )
+    ),
+]

@@ -1,0 +1,85 @@
+"""Helpers for modeling stencils on periodic domains.
+
+A periodic access ``A[t][(i+1) % N]`` is not affine, but it is exactly a
+union of two guarded affine accesses (Section 2.4 / Fig. 4a-b):
+
+* interior: ``A[t][i+1]``      on ``i <= N-2``;
+* wraparound: ``A[t][i+1-N]``  on ``i == N-1``  (i.e. ``A[t][0]``).
+
+The wraparound arcs are the long dependences that make plain time tiling
+invalid and that index-set splitting + Pluto+'s reversals resolve.
+
+Double-buffered time (``A[(t+1)%2][..]``) is modeled with a time-expanded
+logical array ``A[t][..]`` — the dependence structure (and therefore every
+scheduling decision) is identical; only the memory footprint of the
+*validation* runs grows, which is why validation sizes keep ``T`` small.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.frontend.ir import Access
+from repro.polyhedra import AffExpr, AffineMap, BasicSet, Constraint, Space
+
+__all__ = ["periodic_reads", "plain_access"]
+
+
+def plain_access(space: Space, array: str, exprs: Sequence) -> Access:
+    """An unguarded access; each entry of ``exprs`` is an AffExpr or terms."""
+    out = []
+    for e in exprs:
+        out.append(e if isinstance(e, AffExpr) else AffExpr.from_terms(space, *e))
+    return Access(array, AffineMap(space, out))
+
+
+def periodic_reads(
+    space: Space,
+    array: str,
+    time_expr: AffExpr,
+    shifts: Mapping[str, int],
+    extents: Mapping[str, str],
+) -> list[Access]:
+    """Guarded accesses for ``array[time][dim0 + s0][dim1 + s1]...``.
+
+    ``shifts`` maps each space dimension to its offset in ``{-1, 0, +1}``;
+    ``extents`` maps each dimension to the parameter naming its periodic
+    extent (the domain is assumed ``0 .. extent-1``).  Returns one access per
+    interior/wrap combination of the non-zero shifts.
+    """
+    dims = list(shifts.keys())
+    nonzero = [d for d in dims if shifts[d] != 0]
+    out: list[Access] = []
+    for mask in range(1 << len(nonzero)):
+        wrapped = {d: bool((mask >> k) & 1) for k, d in enumerate(nonzero)}
+        guard = BasicSet(space)
+        exprs = [time_expr]
+        ok = True
+        for d in dims:
+            s = shifts[d]
+            dv = AffExpr.var(space, d)
+            n = AffExpr.var(space, extents[d])
+            if s == 0:
+                exprs.append(dv)
+                continue
+            if wrapped[d]:
+                # wrap: for s=+1, i == N-1, index i+1-N; for s=-1, i == 0,
+                # index i-1+N.
+                if s > 0:
+                    guard.add(Constraint(dv - (n - 1), equality=True))
+                    exprs.append(dv + s - n)
+                else:
+                    guard.add(Constraint(dv, equality=True))
+                    exprs.append(dv + s + n)
+            else:
+                if s > 0:
+                    guard.add(Constraint((n - 2) - dv))   # i <= N-2
+                else:
+                    guard.add(Constraint(dv - 1))         # i >= 1
+                exprs.append(dv + s)
+        if not ok:
+            continue
+        out.append(
+            Access(array, AffineMap(space, exprs), guard if nonzero else None)
+        )
+    return out

@@ -1,0 +1,12 @@
+"""Polybench/C 3.2 — the 27 kernels evaluated in the paper (Table 3).
+
+``trmm``, ``adi`` and ``reg-detect`` are excluded, as in the paper,
+following Yuki's analysis [42] that they are not representative of the
+intended computations.
+"""
+
+from repro.workloads.polybench.linear_algebra import POLYBENCH_LA
+from repro.workloads.polybench.medley import POLYBENCH_MEDLEY
+from repro.workloads.polybench.stencils import POLYBENCH_STENCILS
+
+__all__ = ["POLYBENCH_LA", "POLYBENCH_MEDLEY", "POLYBENCH_STENCILS"]

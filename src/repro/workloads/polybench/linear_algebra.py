@@ -1,0 +1,383 @@
+"""Polybench/C 3.2 linear-algebra kernels and solvers (Table 3 rows).
+
+Kernels are transcribed from the Polybench 3.2 sources into the C-like
+affine surface language of :mod:`repro.frontend.parser`.  One systematic
+deviation: scalar temporaries (``x`` in cholesky, ``nrm`` in gramschmidt,
+``w`` in ludcmp) are expanded to loop-indexed arrays.  The paper's toolchain
+reaches the same effect through ISL's value-based (``--lastwriter``)
+dependences; with this repository's memory-based analysis the expansion is
+done in the source encoding instead (see DESIGN.md, substitutions).
+
+Sizes are the Polybench "standard" dataset, as used in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.workloads.base import Workload, register
+
+__all__ = ["POLYBENCH_LA"]
+
+
+def _gemm():
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++) {
+            C[i][j] = C[i][j] * beta;
+            for (k = 0; k < NK; k++)
+                C[i][j] = C[i][j] + alpha * A[i][k] * B[k][j];
+        }
+    """
+    return parse_program(src, "gemm", params=("NI", "NJ", "NK"))
+
+
+def _two_mm():
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++) {
+            tmp[i][j] = 0;
+            for (k = 0; k < NK; k++)
+                tmp[i][j] = tmp[i][j] + alpha * A[i][k] * B[k][j];
+        }
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NL; j++) {
+            D[i][j] = D[i][j] * beta;
+            for (k = 0; k < NJ; k++)
+                D[i][j] = D[i][j] + tmp[i][k] * C[k][j];
+        }
+    """
+    return parse_program(src, "2mm", params=("NI", "NJ", "NK", "NL"))
+
+
+def _three_mm():
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++) {
+            E[i][j] = 0;
+            for (k = 0; k < NK; k++)
+                E[i][j] = E[i][j] + A[i][k] * B[k][j];
+        }
+    for (i = 0; i < NJ; i++)
+        for (j = 0; j < NL; j++) {
+            F[i][j] = 0;
+            for (k = 0; k < NM; k++)
+                F[i][j] = F[i][j] + C[i][k] * D[k][j];
+        }
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NL; j++) {
+            G[i][j] = 0;
+            for (k = 0; k < NJ; k++)
+                G[i][j] = G[i][j] + E[i][k] * F[k][j];
+        }
+    """
+    return parse_program(src, "3mm", params=("NI", "NJ", "NK", "NL", "NM"))
+
+
+def _atax():
+    src = """
+    for (i = 0; i < NY; i++)
+        y[i] = 0;
+    for (i = 0; i < NX; i++) {
+        tmp[i] = 0;
+        for (j = 0; j < NY; j++)
+            tmp[i] = tmp[i] + A[i][j] * x[j];
+        for (j = 0; j < NY; j++)
+            y[j] = y[j] + A[i][j] * tmp[i];
+    }
+    """
+    return parse_program(src, "atax", params=("NX", "NY"))
+
+
+def _bicg():
+    src = """
+    for (i = 0; i < NY; i++)
+        s[i] = 0;
+    for (i = 0; i < NX; i++) {
+        q[i] = 0;
+        for (j = 0; j < NY; j++) {
+            s[j] = s[j] + r[i] * A[i][j];
+            q[i] = q[i] + A[i][j] * p[j];
+        }
+    }
+    """
+    return parse_program(src, "bicg", params=("NX", "NY"))
+
+
+def _cholesky():
+    # scalar x expanded to x1[i], x2[i][j]
+    src = """
+    for (i = 0; i < N; i++) {
+        x1[i] = A[i][i];
+        for (j = 0; j <= i - 1; j++)
+            x1[i] = x1[i] - A[i][j] * A[i][j];
+        p[i] = 1.0 / sqrt(x1[i]);
+        for (j = i + 1; j < N; j++) {
+            x2[i][j] = A[i][j];
+            for (k = 0; k <= i - 1; k++)
+                x2[i][j] = x2[i][j] - A[j][k] * A[i][k];
+            A[j][i] = x2[i][j] * p[i];
+        }
+    }
+    """
+    return parse_program(src, "cholesky", params=("N",))
+
+
+def _doitgen():
+    src = """
+    for (r = 0; r < NR; r++)
+        for (q = 0; q < NQ; q++) {
+            for (p = 0; p < NP; p++) {
+                sum[r][q][p] = 0;
+                for (s = 0; s < NP; s++)
+                    sum[r][q][p] = sum[r][q][p] + A[r][q][s] * C4[s][p];
+            }
+            for (p = 0; p < NP; p++)
+                A[r][q][p] = sum[r][q][p];
+        }
+    """
+    return parse_program(src, "doitgen", params=("NR", "NQ", "NP"))
+
+
+def _gemver():
+    src = """
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            A[i][j] = A[i][j] + u1[i] * v1[j] + u2[i] * v2[j];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x[i] = x[i] + beta * A[j][i] * y[j];
+    for (i = 0; i < N; i++)
+        x[i] = x[i] + z[i];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            w[i] = w[i] + alpha * A[i][j] * x[j];
+    """
+    return parse_program(src, "gemver", params=("N",))
+
+
+def _gesummv():
+    src = """
+    for (i = 0; i < N; i++) {
+        tmp[i] = 0;
+        y[i] = 0;
+        for (j = 0; j < N; j++) {
+            tmp[i] = A[i][j] * x[j] + tmp[i];
+            y[i] = B[i][j] * x[j] + y[i];
+        }
+        y[i] = alpha * tmp[i] + beta * y[i];
+    }
+    """
+    return parse_program(src, "gesummv", params=("N",))
+
+
+def _mvt():
+    src = """
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x1[i] = x1[i] + A[i][j] * y1[j];
+    for (i = 0; i < N; i++)
+        for (j = 0; j < N; j++)
+            x2[i] = x2[i] + A[j][i] * y2[j];
+    """
+    return parse_program(src, "mvt", params=("N",))
+
+
+def _symm():
+    # acc expanded to acc[i][j]
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NJ; j++) {
+            acc[i][j] = 0;
+            for (k = 0; k <= j - 2; k++)
+                acc[i][j] = acc[i][j] + B[k][j] * A[k][i];
+            C[i][j] = beta * C[i][j] + alpha * A[i][i] * B[i][j] + alpha * acc[i][j];
+        }
+    """
+    return parse_program(src, "symm", params=("NI", "NJ"))
+
+
+def _syr2k():
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NI; j++)
+            C[i][j] = C[i][j] * beta;
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NI; j++)
+            for (k = 0; k < NJ; k++)
+                C[i][j] = C[i][j] + alpha * A[i][k] * B[j][k] + alpha * B[i][k] * A[j][k];
+    """
+    return parse_program(src, "syr2k", params=("NI", "NJ"))
+
+
+def _syrk():
+    src = """
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NI; j++)
+            C[i][j] = C[i][j] * beta;
+    for (i = 0; i < NI; i++)
+        for (j = 0; j < NI; j++)
+            for (k = 0; k < NJ; k++)
+                C[i][j] = C[i][j] + alpha * A[i][k] * A[j][k];
+    """
+    return parse_program(src, "syrk", params=("NI", "NJ"))
+
+
+def _trisolv():
+    src = """
+    for (i = 0; i < N; i++) {
+        x[i] = c[i];
+        for (j = 0; j <= i - 1; j++)
+            x[i] = x[i] - A[i][j] * x[j];
+        x[i] = x[i] / A[i][i];
+    }
+    """
+    return parse_program(src, "trisolv", params=("N",))
+
+
+def _durbin():
+    src = """
+    y[0][0] = r[0];
+    beta[0] = 1;
+    alpha[0] = r[0];
+    for (k = 1; k < N; k++) {
+        beta[k] = beta[k-1] - alpha[k-1] * alpha[k-1] * beta[k-1];
+        sum[0][k] = r[k];
+        for (i = 0; i <= k - 1; i++)
+            sum[i+1][k] = sum[i][k] + r[k-i-1] * y[i][k-1];
+        alpha[k] = -sum[k][k] * beta[k];
+        for (i = 0; i <= k - 1; i++)
+            y[i][k] = y[i][k-1] + alpha[k] * y[k-i-1][k-1];
+        y[k][k] = alpha[k];
+    }
+    for (i = 0; i < N; i++)
+        out[i] = y[i][N-1];
+    """
+    return parse_program(src, "durbin", params=("N",))
+
+
+def _dynprog():
+    src = """
+    for (iter = 0; iter < TSTEPS; iter++) {
+        for (i = 0; i <= LEN - 1; i++)
+            for (j = 0; j <= LEN - 1; j++)
+                c[iter][i][j] = 0;
+        for (i = 0; i <= LEN - 1; i++)
+            for (j = i + 1; j <= LEN - 1; j++) {
+                sum_c[iter][i][j][i] = 0;
+                for (k = i + 1; k <= j - 1; k++)
+                    sum_c[iter][i][j][k] = sum_c[iter][i][j][k-1] + c[iter][i][k] + c[iter][k][j];
+                c[iter][i][j] = sum_c[iter][i][j][j-1] + W[i][j];
+            }
+        out_l[iter+1] = out_l[iter] + c[iter][0][LEN - 1];
+    }
+    """
+    return parse_program(src, "dynprog", params=("TSTEPS", "LEN"), param_min=3)
+
+
+def _gramschmidt():
+    # nrm expanded to nrm[k]
+    src = """
+    for (k = 0; k < NJ; k++) {
+        nrm[k] = 0;
+        for (i = 0; i < NI; i++)
+            nrm[k] = nrm[k] + A[i][k] * A[i][k];
+        R[k][k] = sqrt(nrm[k]);
+        for (i = 0; i < NI; i++)
+            Q[i][k] = A[i][k] / R[k][k];
+        for (j = k + 1; j < NJ; j++) {
+            R[k][j] = 0;
+            for (i = 0; i < NI; i++)
+                R[k][j] = R[k][j] + Q[i][k] * A[i][j];
+            for (i = 0; i < NI; i++)
+                A[i][j] = A[i][j] - Q[i][k] * R[k][j];
+        }
+    }
+    """
+    return parse_program(src, "gramschmidt", params=("NI", "NJ"))
+
+
+def _lu():
+    src = """
+    for (k = 0; k < N; k++) {
+        for (j = k + 1; j < N; j++)
+            A[k][j] = A[k][j] / A[k][k];
+        for (i = k + 1; i < N; i++)
+            for (j = k + 1; j < N; j++)
+                A[i][j] = A[i][j] - A[i][k] * A[k][j];
+    }
+    """
+    return parse_program(src, "lu", params=("N",))
+
+
+def _ludcmp():
+    # w expanded to w1/w2/w3/w4 staging arrays; note the reversed accesses
+    # (N-1-i) in the back-substitution — the pattern Table 3 exercises.
+    src = """
+    b[0] = 1.0;
+    for (i = 0; i < N; i++) {
+        for (j = i + 1; j <= N; j++) {
+            w1[i][j] = A[j][i];
+            for (k = 0; k <= i - 1; k++)
+                w1[i][j] = w1[i][j] - A[j][k] * A[k][i];
+            A[j][i] = w1[i][j] / A[i][i];
+        }
+        for (j = i + 1; j <= N; j++) {
+            w2[i][j] = A[i+1][j];
+            for (k = 0; k <= i; k++)
+                w2[i][j] = w2[i][j] - A[i+1][k] * A[k][j];
+            A[i+1][j] = w2[i][j];
+        }
+    }
+    y[0] = b[0];
+    for (i = 1; i <= N; i++) {
+        w3[i] = b[i];
+        for (j = 0; j <= i - 1; j++)
+            w3[i] = w3[i] - A[i][j] * y[j];
+        y[i] = w3[i];
+    }
+    x[N] = y[N] / A[N][N];
+    for (i = 0; i <= N - 1; i++) {
+        w4[i] = y[N - 1 - i];
+        for (j = N - i; j <= N; j++)
+            w4[i] = w4[i] - A[N - 1 - i][j] * x[j];
+        x[N - 1 - i] = w4[i] / A[N - 1 - i][N - 1 - i];
+    }
+    """
+    return parse_program(src, "ludcmp", params=("N",))
+
+
+_LA_SPECS = [
+    ("gemm", _gemm, {"NI": 1024, "NJ": 1024, "NK": 1024}, {"NI": 6, "NJ": 5, "NK": 4}),
+    ("2mm", _two_mm, {"NI": 1024, "NJ": 1024, "NK": 1024, "NL": 1024}, {"NI": 5, "NJ": 4, "NK": 3, "NL": 4}),
+    ("3mm", _three_mm, {"NI": 1024, "NJ": 1024, "NK": 1024, "NL": 1024, "NM": 1024}, {"NI": 4, "NJ": 4, "NK": 3, "NL": 3, "NM": 3}),
+    ("atax", _atax, {"NX": 4000, "NY": 4000}, {"NX": 6, "NY": 5}),
+    ("bicg", _bicg, {"NX": 4000, "NY": 4000}, {"NX": 6, "NY": 5}),
+    ("cholesky", _cholesky, {"N": 1024}, {"N": 6}),
+    ("doitgen", _doitgen, {"NR": 128, "NQ": 128, "NP": 128}, {"NR": 4, "NQ": 4, "NP": 4}),
+    ("gemver", _gemver, {"N": 4000}, {"N": 6}),
+    ("gesummv", _gesummv, {"N": 4000}, {"N": 6}),
+    ("mvt", _mvt, {"N": 4000}, {"N": 6}),
+    ("symm", _symm, {"NI": 1024, "NJ": 1024}, {"NI": 6, "NJ": 6}),
+    ("syr2k", _syr2k, {"NI": 1024, "NJ": 1024}, {"NI": 5, "NJ": 5}),
+    ("syrk", _syrk, {"NI": 1024, "NJ": 1024}, {"NI": 5, "NJ": 5}),
+    ("trisolv", _trisolv, {"N": 4000}, {"N": 7}),
+    ("durbin", _durbin, {"N": 4000}, {"N": 6}),
+    ("dynprog", _dynprog, {"TSTEPS": 10000, "LEN": 50}, {"TSTEPS": 3, "LEN": 6}),
+    ("gramschmidt", _gramschmidt, {"NI": 512, "NJ": 512}, {"NI": 5, "NJ": 5}),
+    ("lu", _lu, {"N": 1024}, {"N": 7}),
+    ("ludcmp", _ludcmp, {"N": 1024}, {"N": 6}),
+]
+
+POLYBENCH_LA = []
+for _name, _factory, _sizes, _small in _LA_SPECS:
+    POLYBENCH_LA.append(
+        register(
+            Workload(
+                name=_name,
+                category="polybench",
+                factory=_factory,
+                sizes=_sizes,
+                small_sizes=_small,
+            )
+        )
+    )

@@ -1,0 +1,92 @@
+"""Polybench/C 3.2 datamining and medley kernels (Table 3 rows)."""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.workloads.base import Workload, register
+
+__all__ = ["POLYBENCH_MEDLEY"]
+
+
+def _correlation():
+    src = """
+    for (j = 0; j < M; j++) {
+        mean[j] = 0.0;
+        for (i = 0; i < N; i++)
+            mean[j] = mean[j] + data[i][j];
+        mean[j] = mean[j] / float_n;
+    }
+    for (j = 0; j < M; j++) {
+        stddev[j] = 0.0;
+        for (i = 0; i < N; i++)
+            stddev[j] = stddev[j] + (data[i][j] - mean[j]) * (data[i][j] - mean[j]);
+        stddev[j] = sqrt(stddev[j] / float_n) + eps;
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < M; j++)
+            data[i][j] = (data[i][j] - mean[j]) / (sqrt(float_n) * stddev[j]);
+    for (j1 = 0; j1 < M - 1; j1++) {
+        symmat[j1][j1] = 1.0;
+        for (j2 = j1 + 1; j2 < M; j2++) {
+            symmat[j1][j2] = 0.0;
+            for (i = 0; i < N; i++)
+                symmat[j1][j2] = symmat[j1][j2] + data[i][j1] * data[i][j2];
+            symmat[j2][j1] = symmat[j1][j2];
+        }
+    }
+    symmat[M-1][M-1] = 1.0;
+    """
+    return parse_program(src, "correlation", params=("M", "N"), param_min=3)
+
+
+def _covariance():
+    src = """
+    for (j = 0; j < M; j++) {
+        mean[j] = 0.0;
+        for (i = 0; i < N; i++)
+            mean[j] = mean[j] + data[i][j];
+        mean[j] = mean[j] / float_n;
+    }
+    for (i = 0; i < N; i++)
+        for (j = 0; j < M; j++)
+            data[i][j] = data[i][j] - mean[j];
+    for (j1 = 0; j1 < M; j1++)
+        for (j2 = j1; j2 < M; j2++) {
+            symmat[j1][j2] = 0.0;
+            for (i = 0; i < N; i++)
+                symmat[j1][j2] = symmat[j1][j2] + data[i][j1] * data[i][j2];
+            symmat[j2][j1] = symmat[j1][j2];
+        }
+    """
+    return parse_program(src, "covariance", params=("M", "N"), param_min=3)
+
+
+def _floyd_warshall():
+    src = """
+    for (k = 0; k < N; k++)
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                path[i][j] = min(path[i][j], path[i][k] + path[k][j]);
+    """
+    return parse_program(src, "floyd-warshall", params=("N",))
+
+
+_MEDLEY_SPECS = [
+    ("correlation", _correlation, {"M": 1000, "N": 1000}, {"M": 6, "N": 5}),
+    ("covariance", _covariance, {"M": 1000, "N": 1000}, {"M": 6, "N": 5}),
+    ("floyd-warshall", _floyd_warshall, {"N": 1024}, {"N": 7}),
+]
+
+POLYBENCH_MEDLEY = []
+for _name, _factory, _sizes, _small in _MEDLEY_SPECS:
+    POLYBENCH_MEDLEY.append(
+        register(
+            Workload(
+                name=_name,
+                category="polybench",
+                factory=_factory,
+                sizes=_sizes,
+                small_sizes=_small,
+            )
+        )
+    )

@@ -1,0 +1,287 @@
+"""Reference numpy implementations of Polybench kernels.
+
+These execute the same mathematics as the polyhedral models in this package
+and are used by the test suite to validate the *model specifications*: the
+model run in original program order must agree with the straightforward
+numpy computation.  (The transformation machinery is validated separately by
+original-vs-transformed comparison.)
+
+Array/parameter conventions match :func:`repro.runtime.infer_shapes` on the
+corresponding model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["REFERENCE_KERNELS"]
+
+
+def gemm(arrays, params):
+    a, b, c = arrays["A"], arrays["B"], arrays["C"]
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    c *= beta
+    c += alpha * (a @ b)
+
+
+def two_mm(arrays, params):
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    arrays["tmp"][:] = alpha * (arrays["A"] @ arrays["B"])
+    arrays["D"] *= beta
+    arrays["D"] += arrays["tmp"] @ arrays["C"]
+
+
+def three_mm(arrays, params):
+    arrays["E"][:] = arrays["A"] @ arrays["B"]
+    arrays["F"][:] = arrays["C"] @ arrays["D"]
+    arrays["G"][:] = arrays["E"] @ arrays["F"]
+
+
+def atax(arrays, params):
+    a, x = arrays["A"], arrays["x"]
+    arrays["tmp"][:] = a @ x
+    arrays["y"][:] = a.T @ arrays["tmp"]
+
+
+def bicg(arrays, params):
+    a = arrays["A"]
+    arrays["s"][:] = a.T @ arrays["r"]
+    arrays["q"][:] = a @ arrays["p"]
+
+
+def mvt(arrays, params):
+    a = arrays["A"]
+    arrays["x1"] += a @ arrays["y1"]
+    arrays["x2"] += a.T @ arrays["y2"]
+
+
+def gesummv(arrays, params):
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    arrays["tmp"][:] = arrays["A"] @ arrays["x"]
+    arrays["y"][:] = alpha * arrays["tmp"] + beta * (arrays["B"] @ arrays["x"])
+
+
+def gemver(arrays, params):
+    a = arrays["A"]
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    a += np.outer(arrays["u1"], arrays["v1"]) + np.outer(arrays["u2"], arrays["v2"])
+    arrays["x"] += beta * (a.T @ arrays["y"])
+    arrays["x"] += arrays["z"]
+    arrays["w"] += alpha * (a @ arrays["x"])
+
+
+def trisolv(arrays, params):
+    a, c = arrays["A"], arrays["c"]
+    n = params["N"]
+    x = arrays["x"]
+    for i in range(n):
+        x[i] = (c[i] - a[i, :i] @ x[:i]) / a[i, i]
+
+
+def lu(arrays, params):
+    a = arrays["A"]
+    n = params["N"]
+    for k in range(n):
+        a[k, k + 1 :] /= a[k, k]
+        a[k + 1 :, k + 1 :] -= np.outer(a[k + 1 :, k], a[k, k + 1 :])
+
+
+def floyd_warshall(arrays, params):
+    path = arrays["path"]
+    n = params["N"]
+    for k in range(n):
+        path[:] = np.minimum(path, path[:, k : k + 1] + path[k : k + 1, :])
+
+
+def covariance(arrays, params):
+    data = arrays["data"]
+    float_n = arrays["float_n"][()]
+    m = params["M"]
+    arrays["mean"][:] = data.sum(axis=0) / float_n
+    data -= arrays["mean"][None, :]
+    arrays["symmat"][:m, :m] = data.T @ data
+
+
+def doitgen(arrays, params):
+    a, c4, s = arrays["A"], arrays["C4"], arrays["sum"]
+    nr, nq = params["NR"], params["NQ"]
+    for r in range(nr):
+        for q in range(nq):
+            s[r, q, :] = a[r, q, :] @ c4
+            a[r, q, :] = s[r, q, :]
+
+
+def jacobi_1d(arrays, params):
+    a, b = arrays["A"], arrays["B"]
+    n = params["N"]
+    for _ in range(params["TSTEPS"]):
+        b[2 : n - 1] = 0.33333 * (a[1 : n - 2] + a[2 : n - 1] + a[3:n])
+        a[2 : n - 1] = b[2 : n - 1]
+
+
+def jacobi_2d(arrays, params):
+    a, b = arrays["A"], arrays["B"]
+    n = params["N"]
+    for _ in range(params["TSTEPS"]):
+        b[1 : n - 1, 1 : n - 1] = 0.2 * (
+            a[1 : n - 1, 1 : n - 1] + a[1 : n - 1, 0 : n - 2]
+            + a[1 : n - 1, 2:n] + a[2:n, 1 : n - 1] + a[0 : n - 2, 1 : n - 1]
+        )
+        a[1 : n - 1, 1 : n - 1] = b[1 : n - 1, 1 : n - 1]
+
+
+def seidel_2d(arrays, params):
+    a = arrays["A"]
+    n = params["N"]
+    for _ in range(params["TSTEPS"]):
+        for i in range(1, n - 1):
+            for j in range(1, n - 1):
+                a[i, j] = (
+                    a[i - 1, j - 1] + a[i - 1, j] + a[i - 1, j + 1]
+                    + a[i, j - 1] + a[i, j] + a[i, j + 1]
+                    + a[i + 1, j - 1] + a[i + 1, j] + a[i + 1, j + 1]
+                ) / 9.0
+
+
+def syrk(arrays, params):
+    a, c = arrays["A"], arrays["C"]
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    c *= beta
+    c += alpha * (a @ a.T)
+
+
+def syr2k(arrays, params):
+    a, b, c = arrays["A"], arrays["B"], arrays["C"]
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    c *= beta
+    c += alpha * (a @ b.T) + alpha * (b @ a.T)
+
+
+def cholesky(arrays, params):
+    a, p, x1, x2 = arrays["A"], arrays["p"], arrays["x1"], arrays["x2"]
+    n = params["N"]
+    for i in range(n):
+        x1[i] = a[i, i] - a[i, :i] @ a[i, :i]
+        p[i] = 1.0 / np.sqrt(x1[i])
+        for j in range(i + 1, n):
+            x2[i, j] = a[i, j] - a[j, :i] @ a[i, :i]
+            a[j, i] = x2[i, j] * p[i]
+
+
+def gramschmidt(arrays, params):
+    a, q, r, nrm = arrays["A"], arrays["Q"], arrays["R"], arrays["nrm"]
+    nj = params["NJ"]
+    for k in range(nj):
+        nrm[k] = a[:, k] @ a[:, k]
+        r[k, k] = np.sqrt(nrm[k])
+        q[:, k] = a[:, k] / r[k, k]
+        for j in range(k + 1, nj):
+            r[k, j] = q[:, k] @ a[:, j]
+            a[:, j] -= q[:, k] * r[k, j]
+
+
+def symm(arrays, params):
+    a, b, c, acc = arrays["A"], arrays["B"], arrays["C"], arrays["acc"]
+    alpha, beta = arrays["alpha"][()], arrays["beta"][()]
+    ni, nj = params["NI"], params["NJ"]
+    for i in range(ni):
+        for j in range(nj):
+            acc[i, j] = b[: max(j - 1, 0), j] @ a[: max(j - 1, 0), i]
+            c[i, j] = beta * c[i, j] + alpha * a[i, i] * b[i, j] + alpha * acc[i, j]
+
+
+def durbin(arrays, params):
+    y, beta, alpha, r, ssum, out = (
+        arrays["y"], arrays["beta"], arrays["alpha"], arrays["r"],
+        arrays["sum"], arrays["out"],
+    )
+    n = params["N"]
+    y[0, 0] = r[0]
+    beta[0] = 1.0
+    alpha[0] = r[0]
+    for k in range(1, n):
+        beta[k] = beta[k - 1] - alpha[k - 1] * alpha[k - 1] * beta[k - 1]
+        ssum[0, k] = r[k]
+        for i in range(k):
+            ssum[i + 1, k] = ssum[i, k] + r[k - i - 1] * y[i, k - 1]
+        alpha[k] = -ssum[k, k] * beta[k]
+        for i in range(k):
+            y[i, k] = y[i, k - 1] + alpha[k] * y[k - i - 1, k - 1]
+        y[k, k] = alpha[k]
+    out[:] = y[:, n - 1]
+
+
+def dynprog(arrays, params):
+    c, sum_c, w, out_l = arrays["c"], arrays["sum_c"], arrays["W"], arrays["out_l"]
+    tsteps, length = params["TSTEPS"], params["LEN"]
+    for it in range(tsteps):
+        c[it, :length, :length] = 0.0
+        for i in range(length):
+            for j in range(i + 1, length):
+                sum_c[it, i, j, i] = 0.0
+                for k in range(i + 1, j):
+                    sum_c[it, i, j, k] = sum_c[it, i, j, k - 1] + c[it, i, k] + c[it, k, j]
+                c[it, i, j] = (sum_c[it, i, j, j - 1] if j - 1 > i else 0.0) + w[i, j]
+        out_l[it + 1] = out_l[it] + c[it, 0, length - 1]
+
+
+def correlation(arrays, params):
+    data = arrays["data"]
+    float_n = arrays["float_n"][()]
+    eps = arrays["eps"][()]
+    m = params["M"]
+    mean = arrays["mean"]
+    stddev = arrays["stddev"]
+    symmat = arrays["symmat"]
+    mean[:m] = data[:, :m].sum(axis=0) / float_n
+    stddev[:m] = np.sqrt(((data[:, :m] - mean[None, :m]) ** 2).sum(axis=0) / float_n) + eps
+    data[:, :m] = (data[:, :m] - mean[None, :m]) / (np.sqrt(float_n) * stddev[None, :m])
+    for j1 in range(m - 1):
+        symmat[j1, j1] = 1.0
+        for j2 in range(j1 + 1, m):
+            symmat[j1, j2] = data[:, j1] @ data[:, j2]
+            symmat[j2, j1] = symmat[j1, j2]
+    symmat[m - 1, m - 1] = 1.0
+
+
+def fdtd_2d(arrays, params):
+    ex, ey, hz, fict = arrays["ex"], arrays["ey"], arrays["hz"], arrays["fict"]
+    tmax, nx, ny = params["TMAX"], params["NX"], params["NY"]
+    for t in range(tmax):
+        ey[0, :ny] = fict[t]
+        ey[1:nx, :ny] -= 0.5 * (hz[1:nx, :ny] - hz[: nx - 1, :ny])
+        ex[:nx, 1:ny] -= 0.5 * (hz[:nx, 1:ny] - hz[:nx, : ny - 1])
+        hz[: nx - 1, : ny - 1] -= 0.7 * (
+            ex[: nx - 1, 1:ny] - ex[: nx - 1, : ny - 1]
+            + ey[1:nx, : ny - 1] - ey[: nx - 1, : ny - 1]
+        )
+
+
+#: model name -> reference callable
+REFERENCE_KERNELS = {
+    "gemm": gemm,
+    "2mm": two_mm,
+    "3mm": three_mm,
+    "atax": atax,
+    "bicg": bicg,
+    "mvt": mvt,
+    "gesummv": gesummv,
+    "gemver": gemver,
+    "trisolv": trisolv,
+    "lu": lu,
+    "floyd-warshall": floyd_warshall,
+    "covariance": covariance,
+    "doitgen": doitgen,
+    "jacobi-1d-imper": jacobi_1d,
+    "jacobi-2d-imper": jacobi_2d,
+    "seidel-2d": seidel_2d,
+    "syrk": syrk,
+    "syr2k": syr2k,
+    "cholesky": cholesky,
+    "gramschmidt": gramschmidt,
+    "symm": symm,
+    "durbin": durbin,
+    "dynprog": dynprog,
+    "correlation": correlation,
+    "fdtd-2d": fdtd_2d,
+}

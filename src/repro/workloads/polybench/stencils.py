@@ -1,0 +1,132 @@
+"""Polybench/C 3.2 stencil kernels (non-periodic; Table 3 upper half).
+
+``fdtd-apml`` is transcribed in a structurally faithful reduced form: the
+same loop structure (a 3-d body sweep with trailing 2-d boundary updates)
+and dependence pattern, with the very long floating-point expressions of the
+original shortened.  Dependence structure — not expression length — is what
+the scheduler and the compile-time study observe.
+"""
+
+from __future__ import annotations
+
+from repro.frontend import parse_program
+from repro.workloads.base import Workload, register
+
+__all__ = ["POLYBENCH_STENCILS"]
+
+
+def _jacobi_1d():
+    src = """
+    for (t = 0; t < TSTEPS; t++) {
+        for (i = 2; i < N - 1; i++)
+            B[i] = 0.33333 * (A[i-1] + A[i] + A[i+1]);
+        for (j = 2; j < N - 1; j++)
+            A[j] = B[j];
+    }
+    """
+    return parse_program(src, "jacobi-1d-imper", params=("TSTEPS", "N"), param_min=5)
+
+
+def _jacobi_2d():
+    src = """
+    for (t = 0; t < TSTEPS; t++) {
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                B[i][j] = 0.2 * (A[i][j] + A[i][j-1] + A[i][j+1] + A[i+1][j] + A[i-1][j]);
+        for (i = 1; i < N - 1; i++)
+            for (j = 1; j < N - 1; j++)
+                A[i][j] = B[i][j];
+    }
+    """
+    return parse_program(src, "jacobi-2d-imper", params=("TSTEPS", "N"), param_min=4)
+
+
+def _seidel_2d():
+    src = """
+    for (t = 0; t <= TSTEPS - 1; t++)
+        for (i = 1; i <= N - 2; i++)
+            for (j = 1; j <= N - 2; j++)
+                A[i][j] = (A[i-1][j-1] + A[i-1][j] + A[i-1][j+1]
+                         + A[i][j-1] + A[i][j] + A[i][j+1]
+                         + A[i+1][j-1] + A[i+1][j] + A[i+1][j+1]) / 9.0;
+    """
+    return parse_program(src, "seidel-2d", params=("TSTEPS", "N"), param_min=4)
+
+
+def _fdtd_2d():
+    src = """
+    for (t = 0; t < TMAX; t++) {
+        for (j = 0; j < NY; j++)
+            ey[0][j] = fict[t];
+        for (i = 1; i < NX; i++)
+            for (j = 0; j < NY; j++)
+                ey[i][j] = ey[i][j] - 0.5 * (hz[i][j] - hz[i-1][j]);
+        for (i = 0; i < NX; i++)
+            for (j = 1; j < NY; j++)
+                ex[i][j] = ex[i][j] - 0.5 * (hz[i][j] - hz[i][j-1]);
+        for (i = 0; i < NX - 1; i++)
+            for (j = 0; j < NY - 1; j++)
+                hz[i][j] = hz[i][j] - 0.7 * (ex[i][j+1] - ex[i][j] + ey[i+1][j] - ey[i][j]);
+    }
+    """
+    return parse_program(src, "fdtd-2d", params=("TMAX", "NX", "NY"), param_min=3)
+
+
+def _fdtd_apml():
+    src = """
+    for (iz = 0; iz < CZ; iz++)
+        for (iy = 0; iy < CYM; iy++) {
+            for (ix = 0; ix < CXM; ix++) {
+                clf[iz][iy] = Ex[iz][iy][ix] - Ex[iz][iy+1][ix] + Ey[iz][iy][ix+1] - Ey[iz][iy][ix];
+                tmp[iz][iy] = cymh[iy] / cyph[iy] * Bza[iz][iy][ix] - ch / cyph[iy] * clf[iz][iy];
+                Hz[iz][iy][ix] = cxmh[ix] / cxph[ix] * Hz[iz][iy][ix]
+                               + mui * czp[iz] / cxph[ix] * tmp[iz][iy]
+                               - mui * czm[iz] / cxph[ix] * Bza[iz][iy][ix];
+                Bza[iz][iy][ix] = tmp[iz][iy];
+            }
+            clf[iz][iy] = Ex[iz][iy][CXM] - Ex[iz][iy+1][CXM] + Ry[iz][iy] - Ey[iz][iy][CXM];
+            tmp[iz][iy] = cymh[iy] / cyph[iy] * Bza[iz][iy][CXM] - ch / cyph[iy] * clf[iz][iy];
+            Hz[iz][iy][CXM] = cxmh[CXM] / cxph[CXM] * Hz[iz][iy][CXM]
+                            + mui * czp[iz] / cxph[CXM] * tmp[iz][iy]
+                            - mui * czm[iz] / cxph[CXM] * Bza[iz][iy][CXM];
+            Bza[iz][iy][CXM] = tmp[iz][iy];
+            for (ix = 0; ix < CXM; ix++) {
+                clf[iz][iy] = Ex[iz][CYM][ix] - Ax[iz][ix] + Ey[iz][CYM][ix+1] - Ey[iz][CYM][ix];
+                tmp[iz][iy] = cymh[CYM] / cyph[iy] * Bza[iz][iy][ix] - ch / cyph[iy] * clf[iz][iy];
+                Hz[iz][CYM][ix] = cxmh[ix] / cxph[ix] * Hz[iz][CYM][ix]
+                                + mui * czp[iz] / cxph[ix] * tmp[iz][iy]
+                                - mui * czm[iz] / cxph[ix] * Bza[iz][CYM][ix];
+                Bza[iz][CYM][ix] = tmp[iz][iy];
+            }
+            clf[iz][iy] = Ex[iz][CYM][CXM] - Ax[iz][CXM] + Ry[iz][CYM] - Ey[iz][CYM][CXM];
+            tmp[iz][iy] = cymh[CYM] / cyph[CYM] * Bza[iz][CYM][CXM] - ch / cyph[CYM] * clf[iz][iy];
+            Hz[iz][CYM][CXM] = cxmh[CXM] / cxph[CXM] * Hz[iz][CYM][CXM]
+                             + mui * czp[iz] / cxph[CXM] * tmp[iz][iy]
+                             - mui * czm[iz] / cxph[CXM] * Bza[iz][CYM][CXM];
+            Bza[iz][CYM][CXM] = tmp[iz][iy];
+        }
+    """
+    return parse_program(src, "fdtd-apml", params=("CZ", "CYM", "CXM"), param_min=2)
+
+
+_STENCIL_SPECS = [
+    ("jacobi-1d-imper", _jacobi_1d, {"TSTEPS": 100, "N": 10000}, {"TSTEPS": 4, "N": 12}),
+    ("jacobi-2d-imper", _jacobi_2d, {"TSTEPS": 20, "N": 1000}, {"TSTEPS": 3, "N": 8}),
+    ("seidel-2d", _seidel_2d, {"TSTEPS": 20, "N": 1000}, {"TSTEPS": 3, "N": 8}),
+    ("fdtd-2d", _fdtd_2d, {"TMAX": 50, "NX": 1000, "NY": 1000}, {"TMAX": 3, "NX": 6, "NY": 6}),
+    ("fdtd-apml", _fdtd_apml, {"CZ": 256, "CYM": 256, "CXM": 256}, {"CZ": 3, "CYM": 4, "CXM": 4}),
+]
+
+POLYBENCH_STENCILS = []
+for _name, _factory, _sizes, _small in _STENCIL_SPECS:
+    POLYBENCH_STENCILS.append(
+        register(
+            Workload(
+                name=_name,
+                category="polybench",
+                factory=_factory,
+                sizes=_sizes,
+                small_sizes=_small,
+            )
+        )
+    )

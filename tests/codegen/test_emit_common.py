@@ -1,0 +1,81 @@
+"""Tests for shared bound/expression rendering."""
+
+import pytest
+
+from repro.codegen.emit_common import merge_bounds, render_expr, render_lower, render_upper
+from repro.codegen.scan import Bound
+from repro.polyhedra import AffExpr, Space
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N",))
+
+
+class TestRenderExpr:
+    def test_simple(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 1, "j": -1}, 3)
+        assert render_expr(e) == "i - j + 3"
+
+    def test_coefficients(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 2, "N": -3})
+        assert render_expr(e) == "2*i - 3*N"
+
+    def test_constant_only(self, sp):
+        assert render_expr(AffExpr.const(sp, -7)) == "-7"
+
+    def test_zero(self, sp):
+        assert render_expr(AffExpr.zero(sp)) == "0"
+
+    def test_leading_negative(self, sp):
+        e = AffExpr.from_terms(sp, {"i": -1}, 1)
+        assert render_expr(e) == "-i + 1"
+
+    def test_valid_python(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 2, "j": -3, "N": 1}, -4)
+        assert eval(render_expr(e), {"i": 5, "j": 2, "N": 7}) == e.evaluate(
+            {"i": 5, "j": 2, "N": 7}
+        )
+
+
+class TestBounds:
+    def test_lower_div1(self, sp):
+        b = Bound(AffExpr.var(sp, "N"), 1)
+        assert render_lower(b) == "N"
+
+    def test_lower_ceil_python(self, sp):
+        b = Bound(AffExpr.from_terms(sp, {"N": 1}, -1), 4)
+        text = render_lower(b)
+        # ceil((N-1)/4) at N=6 -> ceil(5/4) = 2
+        assert eval(text, {"N": 6}) == 2
+
+    def test_upper_floor_python(self, sp):
+        b = Bound(AffExpr.from_terms(sp, {"N": 1}, -1), 4)
+        assert eval(render_upper(b), {"N": 6}) == 1
+
+    def test_negative_numerator_ceil(self, sp):
+        b = Bound(AffExpr.const(sp, -5), 2)
+        assert eval(render_lower(b), {}) == -2  # ceil(-5/2) = -2
+
+    def test_c_renderings(self, sp):
+        b = Bound(AffExpr.var(sp, "N"), 4)
+        assert render_lower(b, "c") == "ceild(N, 4)"
+        assert render_upper(b, "c") == "floord(N, 4)"
+
+
+class TestMergeBounds:
+    def test_single_passthrough(self):
+        assert merge_bounds(["a"], "max") == "a"
+
+    def test_dedup(self):
+        assert merge_bounds(["a", "a"], "max") == "a"
+
+    def test_python_max(self):
+        assert merge_bounds(["a", "b"], "max") == "max(a, b)"
+
+    def test_c_nested(self):
+        assert merge_bounds(["a", "b", "c"], "min", "c") == "min(min(a, b), c)"
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            merge_bounds([], "max")

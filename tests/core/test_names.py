@@ -1,0 +1,43 @@
+"""Tests for the ILP variable naming scheme."""
+
+from repro.core import (
+    W_NAME,
+    c0_name,
+    c_name,
+    csum_name,
+    d_name,
+    delta_name,
+    deltal_name,
+    u_name,
+)
+from repro.frontend import parse_program
+
+
+def stmt():
+    p = parse_program("for (i = 0; i < N; i++) A[i] = 1.0;", "p", params=("N",))
+    return p.statements[0]
+
+
+class TestNames:
+    def test_accept_statement_or_string(self):
+        s = stmt()
+        assert c_name(s, "i") == c_name("S0", "i") == "c.S0.i"
+
+    def test_all_distinct(self):
+        s = stmt()
+        names = {
+            c_name(s, "i"), d_name(s, "N"), c0_name(s), csum_name(s),
+            delta_name(s), deltal_name(s), u_name("N"), W_NAME,
+        }
+        assert len(names) == 8
+
+    def test_per_statement_disjoint(self):
+        assert c_name("A", "i") != c_name("B", "i")
+        assert delta_name("A") != deltal_name("A")
+
+    def test_paper_objective_grouping(self):
+        """Names sort into the eq. (8) blocks used by the scheduler."""
+        s = stmt()
+        assert csum_name(s).startswith("csum.")
+        assert delta_name(s).startswith("dz.")
+        assert deltal_name(s).startswith("dl.")

@@ -1,0 +1,106 @@
+"""Tests for band tiling and schedule containers."""
+
+import pytest
+
+from repro.core import (
+    Band,
+    PlutoScheduler,
+    Schedule,
+    SchedulerOptions,
+    mark_parallelism,
+    tile_schedule,
+    untiled_schedule,
+)
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+
+JACOBI = """
+for (t = 0; t < T; t++) {
+    for (i = 1; i < N - 1; i++)
+        B[i] = 0.33 * (A[i-1] + A[i] + A[i+1]);
+    for (i = 1; i < N - 1; i++)
+        A[i] = B[i];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def jacobi_schedule():
+    p = parse_program(JACOBI, "jacobi", params=("T", "N"), param_min=4)
+    ddg = DependenceGraph(p, compute_dependences(p))
+    s = PlutoScheduler(p, ddg, SchedulerOptions(algorithm="plutoplus")).schedule()
+    mark_parallelism(s, ddg)
+    return p, s
+
+
+class TestTileSchedule:
+    def test_band_tiled_once(self, jacobi_schedule):
+        p, s = jacobi_schedule
+        ts = tile_schedule(s, tile_size=16)
+        kinds = [r.kind for r in ts.rows]
+        # 2-wide band -> 2 tile rows + 2 point rows, then the beta scalar
+        assert kinds == ["tile", "tile", "loop", "loop", "scalar"]
+
+    def test_tile_sizes_recorded(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        ts = tile_schedule(s, tile_size=16)
+        assert all(r.tile_size == 16 for r in ts.rows if r.kind == "tile")
+
+    def test_narrow_band_not_tiled(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        ts = tile_schedule(s, min_band_width=3)
+        assert ts.tile_levels() == []
+
+    def test_per_band_tile_sizes(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        ts = tile_schedule(s, tile_size={0: 8})
+        assert {r.tile_size for r in ts.rows if r.kind == "tile"} == {8}
+
+    def test_untiled_mirror(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        ts = untiled_schedule(s)
+        assert ts.depth == s.depth
+        assert [r.kind for r in ts.rows] == [r.kind for r in s.rows]
+
+    def test_bands_cover_tile_and_point(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        ts = tile_schedule(s, tile_size=4)
+        tile_band = ts.bands[0]
+        point_band = ts.bands[1]
+        assert tile_band.width == 2 and point_band.width == 2
+        assert tile_band.end + 1 == point_band.start
+
+    def test_concurrent_start_marks_first_tile_parallel(self):
+        from repro.core import find_diamond_schedule, index_set_split
+        from repro.workloads.periodic import heat_1dp
+
+        p, _ = index_set_split(heat_1dp())
+        ddg = DependenceGraph(p, compute_dependences(p))
+        s = find_diamond_schedule(p, ddg, SchedulerOptions(algorithm="plutoplus"))
+        mark_parallelism(s, ddg)
+        ts = tile_schedule(s, tile_size=8)
+        tiles = [r for r in ts.rows if r.kind == "tile"]
+        assert tiles[0].parallel
+        assert not tiles[1].parallel
+
+
+class TestScheduleContainer:
+    def test_h_rows_skips_zero_rows(self, jacobi_schedule):
+        p, s = jacobi_schedule
+        for st_ in p.statements:
+            rows = s.h_rows(st_)
+            assert all(any(r) for r in rows)
+
+    def test_map_for_depth(self, jacobi_schedule):
+        p, s = jacobi_schedule
+        m = s.map_for(p.statements[0])
+        assert m.n_out == s.depth
+
+    def test_band_at(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        b = s.band_at(0)
+        assert isinstance(b, Band) and b.start == 0
+
+    def test_pretty_mentions_bands(self, jacobi_schedule):
+        _, s = jacobi_schedule
+        assert "band[" in s.pretty()

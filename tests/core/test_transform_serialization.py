@@ -1,0 +1,61 @@
+"""Tests for schedule JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.core import PlutoScheduler, Schedule, SchedulerOptions
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+
+SRC = """
+for (t = 0; t < T; t++) {
+    for (i = 1; i < N-1; i++)
+        B[i] = 0.3 * (A[i-1] + A[i] + A[i+1]);
+    for (i = 1; i < N-1; i++)
+        A[i] = B[i];
+}
+"""
+
+
+@pytest.fixture(scope="module")
+def scheduled():
+    p = parse_program(SRC, "jacobi", params=("T", "N"), param_min=4)
+    ddg = DependenceGraph(p, compute_dependences(p))
+    s = PlutoScheduler(p, ddg, SchedulerOptions()).schedule()
+    return p, s
+
+
+class TestSerialization:
+    def test_roundtrip_preserves_maps(self, scheduled):
+        p, s = scheduled
+        data = json.loads(json.dumps(s.to_dict()))
+        restored = Schedule.from_dict(p, data)
+        for stmt in p.statements:
+            assert restored.map_for(stmt) == s.map_for(stmt)
+
+    def test_roundtrip_preserves_bands(self, scheduled):
+        p, s = scheduled
+        restored = Schedule.from_dict(p, s.to_dict())
+        assert [(b.start, b.end) for b in restored.bands] == [
+            (b.start, b.end) for b in s.bands
+        ]
+
+    def test_roundtrip_preserves_rank(self, scheduled):
+        p, s = scheduled
+        restored = Schedule.from_dict(p, s.to_dict())
+        assert restored.rank == s.rank
+
+    def test_wrong_program_rejected(self, scheduled):
+        p, s = scheduled
+        other = parse_program("for (i = 0; i < N; i++) A[i] = 1.0;", "other", params=("N",))
+        with pytest.raises(ValueError):
+            Schedule.from_dict(other, s.to_dict())
+
+    def test_restored_schedule_verifies(self, scheduled):
+        from repro.core import verify_schedule
+
+        p, s = scheduled
+        ddg = DependenceGraph(p, compute_dependences(p))
+        restored = Schedule.from_dict(p, s.to_dict())
+        assert verify_schedule(restored, ddg).legal

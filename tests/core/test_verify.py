@@ -1,0 +1,140 @@
+"""Tests for the independent schedule legality verifier."""
+
+import pytest
+
+from repro.core import (
+    PlutoScheduler,
+    Schedule,
+    ScheduleRow,
+    SchedulerOptions,
+    verify_schedule,
+)
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+from repro.polyhedra import AffExpr
+
+
+def setup(src, params=("N",), param_min=3):
+    p = parse_program(src, "p", params=params, param_min=param_min)
+    ddg = DependenceGraph(p, compute_dependences(p))
+    return p, ddg
+
+
+FIG1 = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+        A[i+1][j+1] = 2.0 * A[i][j];
+"""
+
+
+def hand_schedule(p, rows):
+    s = Schedule(p)
+    stmt = p.statements[0]
+    for terms in rows:
+        s.add_row(
+            ScheduleRow(
+                "loop",
+                {stmt.name: AffExpr.from_terms(stmt.space, terms)},
+            )
+        )
+    return s
+
+
+class TestVerifier:
+    def test_identity_is_legal(self):
+        p, ddg = setup(FIG1)
+        s = hand_schedule(p, [{"i": 1}, {"j": 1}])
+        assert verify_schedule(s, ddg).legal
+
+    def test_full_reversal_is_illegal(self):
+        p, ddg = setup(FIG1)
+        s = hand_schedule(p, [{"i": -1}, {"j": -1}])
+        report = verify_schedule(s, ddg)
+        assert not report.legal
+        assert report.violations
+
+    def test_skew_is_legal(self):
+        p, ddg = setup(FIG1)
+        s = hand_schedule(p, [{"i": 1, "j": -1}, {"j": 1}])
+        assert verify_schedule(s, ddg).legal
+
+    def test_rank_deficient_schedule_unordered(self):
+        # only one dimension: the (1,1) dep is ordered, but a same-hyperplane
+        # pair stays unordered? phi = i orders all pairs of this dep (i-dist 1)
+        p, ddg = setup(FIG1)
+        s = hand_schedule(p, [{"i": 1}])
+        assert verify_schedule(s, ddg).legal  # i-distance is exactly 1
+
+    def test_weak_only_schedule_flagged(self):
+        # phi = i - j has distance 0 for every pair: never strictly ordered
+        p, ddg = setup(FIG1)
+        s = hand_schedule(p, [{"i": 1, "j": -1}])
+        report = verify_schedule(s, ddg)
+        assert not report.legal
+        assert report.unordered and not report.violations
+        weak = verify_schedule(s, ddg, require_total_order=False)
+        assert weak.legal
+
+    def test_scalar_row_orders_statements(self):
+        src = """
+        for (i = 0; i < N; i++) {
+            B[i] = 2.0 * A[i];
+            C[i] = 3.0 * B[i];
+        }
+        """
+        p, ddg = setup(src)
+        s = Schedule(p)
+        s.add_row(
+            ScheduleRow(
+                "loop",
+                {st.name: AffExpr.var(st.space, "i") for st in p.statements},
+            )
+        )
+        s.add_scalar_row({"S0": 0, "S1": 1})
+        assert verify_schedule(s, ddg).legal
+        # reversed statement order: backwards
+        s2 = Schedule(p)
+        s2.add_row(
+            ScheduleRow(
+                "loop",
+                {st.name: AffExpr.var(st.space, "i") for st in p.statements},
+            )
+        )
+        s2.add_scalar_row({"S0": 1, "S1": 0})
+        assert not verify_schedule(s2, ddg).legal
+
+    def test_scheduler_output_always_verifies(self):
+        for algo in ("pluto", "plutoplus"):
+            for src, params, pmin in (
+                (FIG1, ("N",), 3),
+                (
+                    """
+                    for (t = 0; t < T; t++)
+                        for (i = 1; i < N-1; i++)
+                            A[t+1][i] = 0.3*(A[t][i-1]+A[t][i]+A[t][i+1]);
+                    """,
+                    ("T", "N"),
+                    4,
+                ),
+            ):
+                p, ddg = setup(src, params, pmin)
+                s = PlutoScheduler(p, ddg, SchedulerOptions(algorithm=algo)).schedule()
+                assert verify_schedule(s, ddg).legal, (algo, src[:40])
+
+    def test_diamond_verifies(self):
+        from repro.core import find_diamond_schedule, index_set_split
+        from repro.workloads.periodic import heat_1dp
+
+        p, _ = index_set_split(heat_1dp())
+        ddg = DependenceGraph(p, compute_dependences(p))
+        s = find_diamond_schedule(p, ddg, SchedulerOptions(algorithm="plutoplus"))
+        assert verify_schedule(s, ddg).legal
+
+    def test_tiled_schedule_accepted(self):
+        from repro.core import mark_parallelism, tile_schedule
+
+        p, ddg = setup(FIG1)
+        s = PlutoScheduler(p, ddg, SchedulerOptions()).schedule()
+        mark_parallelism(s, ddg)
+        ts = tile_schedule(s, tile_size=4)
+        assert verify_schedule(ts, ddg).legal

@@ -1,0 +1,78 @@
+"""Property tests: the verifier agrees with construction and catches damage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    PlutoScheduler,
+    Schedule,
+    ScheduleRow,
+    SchedulerOptions,
+    verify_schedule,
+)
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+from repro.polyhedra import AffExpr
+
+
+@st.composite
+def uniform_program(draw):
+    """Small nests with a forward uniform dependence."""
+    di = draw(st.integers(0, 1))
+    dj = draw(st.integers(-1, 1))
+    if di == 0 and dj <= 0:
+        dj = 1
+    lb = max(0, -dj)
+    src = f"""
+    for (i = 0; i < N; i++)
+        for (j = {lb}; j < N - {max(dj, 0)}; j++)
+            A[i + {di}][j + {dj}] = 0.5 * A[i][j];
+    """
+    return src
+
+
+class TestVerifierProperties:
+    @given(uniform_program(), st.sampled_from(["pluto", "plutoplus"]))
+    @settings(max_examples=10, deadline=None)
+    def test_scheduler_output_verifies(self, src, algo):
+        p = parse_program(src, "p", params=("N",), param_min=4)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        s = PlutoScheduler(p, ddg, SchedulerOptions(algorithm=algo)).schedule()
+        assert verify_schedule(s, ddg).legal
+
+    @given(uniform_program())
+    @settings(max_examples=10, deadline=None)
+    def test_time_reversal_caught(self, src):
+        """Negating the level that carries the dependence must be flagged."""
+        p = parse_program(src, "p", params=("N",), param_min=4)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        s = PlutoScheduler(p, ddg, SchedulerOptions()).schedule()
+        assert verify_schedule(s, ddg).legal
+
+        # find the first loop level that strictly carries the dependence and
+        # negate it: the resulting schedule must NOT verify
+        (dep,) = ddg.deps
+        for idx, row in enumerate(s.rows):
+            if row.kind != "loop":
+                continue
+            expr = dep.distance_expr(
+                row.expr_for(dep.source), row.expr_for(dep.target)
+            )
+            mx = dep.polyhedron.max_of(expr)
+            if mx is not None and mx >= 1:
+                damaged = Schedule(p)
+                for j, r in enumerate(s.rows):
+                    if j == idx:
+                        damaged.add_row(
+                            ScheduleRow(
+                                "loop",
+                                {k: -e for k, e in r.exprs.items()},
+                            )
+                        )
+                    else:
+                        damaged.add_row(r)
+                report = verify_schedule(damaged, ddg)
+                assert not report.legal
+                return
+        pytest.skip("no strictly-carrying level (all-zero distances)")

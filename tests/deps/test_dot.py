@@ -1,0 +1,50 @@
+"""Tests for DOT export of dependence graphs."""
+
+from repro.deps import DependenceGraph, compute_dependences
+from repro.deps.dot import ddg_to_dot
+from repro.frontend import parse_program
+
+SRC = """
+for (i = 0; i < N; i++)
+    B[i] = 2.0 * A[i];
+for (i = 0; i < N; i++)
+    C[i] = 3.0 * B[i];
+"""
+
+
+def make():
+    p = parse_program(SRC, "p", params=("N",))
+    return DependenceGraph(p, compute_dependences(p))
+
+
+class TestDot:
+    def test_valid_structure(self):
+        text = ddg_to_dot(make())
+        assert text.startswith("digraph ddg {")
+        assert text.rstrip().endswith("}")
+        assert text.count("{") == text.count("}")
+
+    def test_nodes_and_edges_present(self):
+        text = ddg_to_dot(make())
+        assert '"S0"' in text and '"S1"' in text
+        assert '"S0" -> "S1"' in text
+
+    def test_distance_labels(self):
+        text = ddg_to_dot(make(), include_distances=True)
+        assert "RAW (0,)" in text
+
+    def test_no_distance_labels(self):
+        text = ddg_to_dot(make(), include_distances=False)
+        assert "(0,)" not in text
+
+    def test_kind_styles(self):
+        src = """
+        for (t = 0; t < T; t++)
+            for (i = 1; i < N-1; i++)
+                A[i] = 0.5 * (A[i-1] + A[i+1]);
+        """
+        p = parse_program(src, "p", params=("T", "N"), param_min=4)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        text = ddg_to_dot(ddg)
+        assert "style=dashed" in text   # WAR
+        assert "style=dotted" in text   # WAW

@@ -1,0 +1,92 @@
+"""Tests for body access extraction and C-to-Python conversion."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import BodySyntaxError, extract_accesses, split_assignment, to_python
+from repro.polyhedra import Space
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N",))
+
+
+class TestSplitAssignment:
+    def test_plain(self):
+        assert split_assignment("A[i] = B[i] + 1;") == ("A[i]", "", "B[i] + 1")
+
+    def test_compound(self):
+        assert split_assignment("x += y") == ("x", "+", "y")
+
+    def test_no_assignment_raises(self):
+        with pytest.raises(BodySyntaxError):
+            split_assignment("A[i] + B[i];")
+
+
+class TestExtractAccesses:
+    def test_simple(self, sp):
+        writes, reads = extract_accesses("A[i][j] = B[j][i] + A[i][j-1]", sp)
+        assert [w[0] for w in writes] == ["A"]
+        assert sorted(r[0] for r in reads) == ["A", "B"]
+
+    def test_access_maps(self, sp):
+        writes, reads = extract_accesses("A[i+1][j+1] = A[i][j]", sp)
+        assert writes[0][1].apply({"i": 2, "j": 3, "N": 0}) == (3, 4)
+        assert reads[0][1].apply({"i": 2, "j": 3, "N": 0}) == (2, 3)
+
+    def test_scalar_read(self, sp):
+        writes, reads = extract_accesses("A[i][j] = alpha * A[i][j]", sp)
+        names = {r[0] for r in reads}
+        assert "alpha" in names
+        alpha = next(r for r in reads if r[0] == "alpha")
+        assert alpha[1].n_out == 0  # 0-d access
+
+    def test_scalar_write(self, sp):
+        writes, _ = extract_accesses("x = A[i][i]", sp)
+        assert writes[0][0] == "x" and writes[0][1].n_out == 0
+
+    def test_compound_reads_lhs(self, sp):
+        _, reads = extract_accesses("A[i][j] += B[i][j]", sp)
+        assert sorted(r[0] for r in reads) == ["A", "B"]
+
+    def test_function_not_data(self, sp):
+        _, reads = extract_accesses("A[i][j] = sqrt(B[i][j])", sp)
+        assert {r[0] for r in reads} == {"B"}
+
+    def test_nonaffine_subscript_rejected(self, sp):
+        with pytest.raises(BodySyntaxError):
+            extract_accesses("A[i*j] = 0", sp)
+
+    def test_numeric_rhs_no_reads(self, sp):
+        _, reads = extract_accesses("A[i][j] = 0.5", sp)
+        assert reads == []
+
+
+class TestToPython:
+    def test_subscript_conversion(self, sp):
+        py = to_python("A[i][j+1] = A[i][j] + B[j][i]", sp, ["A", "B"])
+        assert py == "A[i, j+1] = A[i, j] + B[j, i]"
+
+    def test_executes_on_numpy(self, sp):
+        py = to_python("A[i][j] = B[j][i] + 1", sp, ["A", "B"])
+        A, B = np.zeros((2, 2)), np.arange(4.0).reshape(2, 2)
+        exec(py, {}, {"A": A, "B": B, "i": 0, "j": 1})
+        assert A[0, 1] == B[1, 0] + 1
+
+    def test_scalar_becomes_0d(self, sp):
+        py = to_python("x = A[i][i] + alpha", sp, ["A"])
+        assert py == "x[()] = A[i, i] + alpha[()]"
+        x = np.zeros(())
+        alpha = np.full((), 2.0)
+        A = np.eye(3)
+        exec(py, {}, {"x": x, "alpha": alpha, "A": A, "i": 1})
+        assert x[()] == 3.0
+
+    def test_compound_op(self, sp):
+        py = to_python("A[i][j] += B[i][j]", sp, ["A", "B"])
+        assert py == "A[i, j] += B[i, j]"
+
+    def test_functions_preserved(self, sp):
+        py = to_python("A[i][j] = sqrt(A[i][j])", sp, ["A"])
+        assert "sqrt(A[i, j])" in py

@@ -1,0 +1,77 @@
+"""Tests for the affine expression parser."""
+
+import pytest
+
+from repro.frontend import AffineSyntaxError, parse_affine
+from repro.polyhedra import AffExpr, Space
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N", "M"))
+
+
+class TestParseAffine:
+    def test_simple_var(self, sp):
+        assert parse_affine(sp, "i").coeffs == (1, 0, 0, 0, 0)
+
+    def test_constant(self, sp):
+        assert parse_affine(sp, "42").const_term == 42
+
+    def test_sum_and_difference(self, sp):
+        e = parse_affine(sp, "N - 1 - i")
+        assert e.coeff_of("N") == 1 and e.coeff_of("i") == -1
+        assert e.const_term == -1
+
+    def test_coefficient_products(self, sp):
+        e = parse_affine(sp, "2*i + 3 * j - 4")
+        assert e.coeffs == (2, 3, 0, 0, -4)
+
+    def test_reversed_product(self, sp):
+        assert parse_affine(sp, "i*2").coeff_of("i") == 2
+
+    def test_parentheses(self, sp):
+        e = parse_affine(sp, "2*(i - j) + (N - 1)")
+        assert e.coeffs == (2, -2, 1, 0, -1)
+
+    def test_unary_minus(self, sp):
+        assert parse_affine(sp, "-i + -2").coeffs == (-1, 0, 0, 0, -2)
+
+    def test_double_negative_parens(self, sp):
+        assert parse_affine(sp, "-(i - j)").coeffs == (-1, 1, 0, 0, 0)
+
+    def test_exact_division(self, sp):
+        assert parse_affine(sp, "(2*i + 4)/2").coeffs == (1, 0, 0, 0, 2)
+
+    def test_inexact_division_rejected(self, sp):
+        with pytest.raises(AffineSyntaxError):
+            parse_affine(sp, "i/2")
+
+    def test_nonaffine_product_rejected(self, sp):
+        with pytest.raises(AffineSyntaxError):
+            parse_affine(sp, "i*j")
+
+    def test_unknown_name_rejected(self, sp):
+        with pytest.raises(AffineSyntaxError):
+            parse_affine(sp, "k + 1")
+
+    def test_trailing_garbage_rejected(self, sp):
+        with pytest.raises(AffineSyntaxError):
+            parse_affine(sp, "i + 1)")
+
+    def test_missing_paren_rejected(self, sp):
+        with pytest.raises(AffineSyntaxError):
+            parse_affine(sp, "(i + 1")
+
+    def test_int_passthrough(self, sp):
+        assert parse_affine(sp, 7).const_term == 7
+
+    def test_affexpr_passthrough(self, sp):
+        e = AffExpr.var(sp, "i")
+        assert parse_affine(sp, e) is e
+
+    def test_affexpr_rebase(self, sp):
+        small = Space(("i",), ("N", "M"))
+        e = AffExpr.var(small, "i")
+        out = parse_affine(sp, e)
+        assert out.space == sp and out.coeff_of("i") == 1

@@ -1,0 +1,74 @@
+"""Tests for the polyhedral IR containers."""
+
+import pytest
+
+from repro.frontend import Program, parse_program
+from repro.frontend.ir import Statement
+from repro.polyhedra import BasicSet, Space
+
+
+class TestProgram:
+    def test_param_min_scalar(self):
+        p = Program("p", params=("N", "M"), param_min=3)
+        assert p.param_min == {"N": 3, "M": 3}
+
+    def test_param_min_mapping(self):
+        p = Program("p", params=("N", "M"), param_min={"N": 5})
+        assert p.param_min == {"N": 5, "M": 2}
+
+    def test_statement_lookup(self):
+        p = parse_program("for (i = 0; i < N; i++) A[i] = 1.0;", "p", params=("N",))
+        assert p.statement("S0").name == "S0"
+        with pytest.raises(KeyError):
+            p.statement("S9")
+
+    def test_duplicate_statement_rejected(self):
+        p = Program("p", params=("N",))
+        sp = Space(("i",), ("N",))
+        p.add_statement(Statement("S", BasicSet(sp)))
+        with pytest.raises(ValueError):
+            p.add_statement(Statement("S", BasicSet(sp)))
+
+    def test_arrays_collected(self):
+        src = "for (i = 0; i < N; i++) A[i] = B[i] + C[i];"
+        p = parse_program(src, "p", params=("N",))
+        assert p.arrays() == {"A", "B", "C"}
+
+    def test_context_constraints(self):
+        p = parse_program(
+            "for (i = 0; i < N; i++) A[i] = 1.0;", "p", params=("N",), param_min=4
+        )
+        sp = p.statements[0].space
+        cons = p.context_constraints(sp)
+        assert len(cons) == 1
+        assert cons[0].is_satisfied({"i": 0, "N": 4})
+        assert not cons[0].is_satisfied({"i": 0, "N": 3})
+
+    def test_max_depth(self):
+        src = """
+        for (i = 0; i < N; i++) A[i] = 1.0;
+        for (i = 0; i < N; i++) for (j = 0; j < N; j++) B[i][j] = 2.0;
+        """
+        p = parse_program(src, "p", params=("N",))
+        assert p.max_depth() == 2
+
+    def test_iteration_and_len(self):
+        p = parse_program("for (i = 0; i < N; i++) A[i] = 1.0;", "p", params=("N",))
+        assert len(p) == 1
+        assert [s.name for s in p] == ["S0"]
+
+    def test_str_contains_statements(self):
+        p = parse_program("for (i = 0; i < N; i++) A[i] = 1.0;", "p", params=("N",))
+        assert "S0" in str(p)
+
+
+class TestStatement:
+    def test_accessors(self):
+        src = "for (i = 0; i < N; i++) A[i] = B[i+1];"
+        p = parse_program(src, "p", params=("N",))
+        s = p.statements[0]
+        assert s.iters == ("i",)
+        assert s.dim == 1
+        assert s.read_arrays() == {"B"}
+        assert s.write_arrays() == {"A"}
+        assert "A[i]" in str(s)

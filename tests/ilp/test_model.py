@@ -1,0 +1,94 @@
+"""Tests for the ILP model container."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.ilp import ILPModel, LinearConstraint, SolveStats, Variable
+
+
+class TestVariable:
+    def test_defaults(self):
+        v = Variable("x")
+        assert v.lower == 0 and v.upper is None and v.integer
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            Variable("x", lower=2, upper=1)
+
+    def test_frozen(self):
+        v = Variable("x")
+        with pytest.raises(AttributeError):
+            v.lower = 5
+
+
+class TestLinearConstraint:
+    def test_evaluate(self):
+        c = LinearConstraint({"x": 2, "y": -1}, 3)
+        assert c.evaluate({"x": 1, "y": 4}) == 1
+
+    def test_satisfaction_inequality(self):
+        c = LinearConstraint({"x": 1}, -2)
+        assert c.is_satisfied({"x": 2})
+        assert not c.is_satisfied({"x": 1})
+
+    def test_satisfaction_equality(self):
+        c = LinearConstraint({"x": 1}, -2, equality=True)
+        assert c.is_satisfied({"x": 2})
+        assert not c.is_satisfied({"x": 3})
+
+    def test_fraction_arithmetic(self):
+        c = LinearConstraint({"x": Fraction(1, 2)}, Fraction(-1, 4))
+        assert c.evaluate({"x": Fraction(1, 2)}) == 0
+
+
+class TestILPModel:
+    def test_duplicate_variable_rejected(self):
+        m = ILPModel()
+        m.add_variable("x")
+        with pytest.raises(ValueError):
+            m.add_variable("x")
+
+    def test_unknown_constraint_var_rejected(self):
+        m = ILPModel()
+        with pytest.raises(KeyError):
+            m.add_constraint({"ghost": 1}, 0)
+
+    def test_unknown_objective_var_rejected(self):
+        m = ILPModel()
+        m.add_variable("x")
+        with pytest.raises(KeyError):
+            m.set_objective_order(["x", "ghost"])
+
+    def test_check_bounds(self):
+        m = ILPModel()
+        m.add_variable("x", lower=0, upper=3)
+        assert m.check({"x": 2})
+        assert not m.check({"x": 4})
+        assert not m.check({"x": -1})
+
+    def test_check_integrality(self):
+        m = ILPModel()
+        m.add_variable("x")
+        assert not m.check({"x": Fraction(1, 2)})
+
+    def test_check_continuous_allows_fractions(self):
+        m = ILPModel()
+        m.add_variable("x", integer=False)
+        assert m.check({"x": Fraction(1, 2)})
+
+    def test_counts_and_repr(self):
+        m = ILPModel()
+        m.add_variable("x")
+        m.add_constraint({"x": 1}, 0)
+        m.set_objective_order(["x"])
+        assert m.num_variables == 1 and m.num_constraints == 1
+        assert "1 vars" in repr(m)
+
+
+class TestSolveStats:
+    def test_merge(self):
+        a = SolveStats(simplex_pivots=3, bb_nodes=1, lp_solves=2)
+        b = SolveStats(simplex_pivots=4, bb_nodes=2, lp_solves=1)
+        a.merge(b)
+        assert (a.simplex_pivots, a.bb_nodes, a.lp_solves) == (7, 3, 3)

@@ -1,0 +1,90 @@
+"""Tests for the end-to-end pipeline module and the C emitter."""
+
+import pytest
+
+from repro.codegen import generate_c
+from repro.frontend import parse_program
+from repro.pipeline import PipelineOptions, optimize
+from repro.workloads import get_workload
+
+SIMPLE = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+        A[i+1][j+1] = 0.5 * A[i][j];
+"""
+
+
+class TestPipeline:
+    def test_timing_breakdown_sums(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions())
+        t = res.timing
+        assert t.total == pytest.approx(
+            t.dependence_analysis + t.auto_transformation + t.code_generation + t.misc
+        )
+        assert t.total > 0
+
+    def test_no_tile_option(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions(tile=False))
+        assert res.tiled.tile_levels() == []
+
+    def test_tile_size_respected(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions(tile_size=8))
+        sizes = {r.tile_size for r in res.tiled.rows if r.kind == "tile"}
+        assert sizes == {8}
+
+    def test_iss_off_by_default(self):
+        w = get_workload("heat-1dp")
+        res = optimize(w.program(), PipelineOptions(algorithm="plutoplus"))
+        assert not res.used_iss  # --iss not passed
+        assert res.program is res.source_program
+
+    def test_diamond_requires_flag(self):
+        w = get_workload("heat-1dp")
+        res = optimize(w.program(), PipelineOptions(algorithm="plutoplus", iss=True))
+        assert res.used_iss and not res.used_diamond
+
+    def test_summary_text(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions())
+        text = res.summary()
+        assert "p [plutoplus]" in text and "timing" in text
+
+    def test_scheduler_stats_absent_for_diamond(self):
+        w = get_workload("heat-1dp")
+        res = optimize(w.program(), w.pipeline_options("plutoplus"))
+        assert res.used_diamond
+        # diamond path bypasses the standard scheduler loop
+        assert res.scheduler_stats is None
+
+
+class TestCEmitter:
+    def test_structure(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions(algorithm="plutoplus", tile_size=16))
+        c = generate_c(res.tiled)
+        assert "#define ceild" in c
+        assert c.count("{") == c.count("}")
+        assert "for (int z0" in c
+        assert "A[i + 1][j + 1]" in c  # original C body preserved
+
+    def test_parallel_pragma(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions(algorithm="plutoplus", tile=False))
+        c = generate_c(res.tiled)
+        assert "#pragma omp parallel for" in c
+
+    def test_multi_statement_guards(self):
+        src = """
+        for (i = 0; i < N; i++) {
+            INIT: B[i] = 2.0 * A[i];
+            for (k = 0; k < N; k++)
+                C[i][k] = C[i][k] + B[i];
+        }
+        """
+        p = parse_program(src, "p", params=("N",))
+        res = optimize(p, PipelineOptions(tile=False))
+        c = generate_c(res.tiled)
+        assert "if (" in c  # statement-specific scan guards

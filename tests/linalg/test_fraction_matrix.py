@@ -1,0 +1,221 @@
+"""Unit and property tests for exact rational matrices."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.linalg import (
+    FMatrix,
+    integer_normalize_row,
+    lcm,
+    orthogonal_complement,
+)
+
+
+class TestLcm:
+    def test_basic(self):
+        assert lcm(4, 6) == 12
+
+    def test_zero_left(self):
+        assert lcm(0, 5) == 5
+
+    def test_zero_right(self):
+        assert lcm(5, 0) == 5
+
+    def test_both_zero(self):
+        assert lcm(0, 0) == 0
+
+    def test_negative(self):
+        assert lcm(-4, 6) == 12
+
+
+class TestIntegerNormalizeRow:
+    def test_fractions_scaled(self):
+        assert integer_normalize_row([Fraction(1, 2), Fraction(1, 3)]) == [3, 2]
+
+    def test_gcd_reduced(self):
+        assert integer_normalize_row([4, 6, 8]) == [2, 3, 4]
+
+    def test_zero_row(self):
+        assert integer_normalize_row([0, 0]) == [0, 0]
+
+    def test_sign_preserved(self):
+        assert integer_normalize_row([Fraction(-1, 2), Fraction(1, 4)]) == [-2, 1]
+
+    def test_single_negative(self):
+        assert integer_normalize_row([Fraction(-3)]) == [-1]
+
+
+class TestFMatrixBasics:
+    def test_shape(self):
+        m = FMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.shape == (2, 3)
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            FMatrix([[1, 2], [3]])
+
+    def test_identity(self):
+        m = FMatrix.identity(3)
+        assert m[0, 0] == 1 and m[0, 1] == 0 and m[2, 2] == 1
+
+    def test_transpose(self):
+        m = FMatrix([[1, 2, 3], [4, 5, 6]])
+        assert m.transpose().tolist() == FMatrix([[1, 4], [2, 5], [3, 6]]).tolist()
+
+    def test_matmul(self):
+        a = FMatrix([[1, 2], [3, 4]])
+        b = FMatrix([[0, 1], [1, 0]])
+        assert (a @ b).tolist() == FMatrix([[2, 1], [4, 3]]).tolist()
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            FMatrix([[1, 2]]) @ FMatrix([[1, 2]])
+
+    def test_matvec(self):
+        m = FMatrix([[1, 2], [3, 4]])
+        assert m.matvec([1, 1]) == [3, 7]
+
+    def test_matvec_length_mismatch(self):
+        with pytest.raises(ValueError):
+            FMatrix([[1, 2]]).matvec([1, 2, 3])
+
+    def test_eq(self):
+        assert FMatrix([[1, 2]]) == FMatrix([[Fraction(1), Fraction(2)]])
+
+    def test_repr_contains_shape(self):
+        assert "2x2" in repr(FMatrix.identity(2))
+
+
+class TestElimination:
+    def test_rref_identity(self):
+        m = FMatrix.identity(3)
+        rref, pivots = m.rref()
+        assert rref == m
+        assert pivots == [0, 1, 2]
+
+    def test_rref_rank_deficient(self):
+        m = FMatrix([[1, 2], [2, 4]])
+        _, pivots = m.rref()
+        assert pivots == [0]
+        assert m.rank() == 1
+
+    def test_rank_full(self):
+        assert FMatrix([[1, 0], [1, 1]]).rank() == 2
+
+    def test_nullspace_of_full_rank_is_empty(self):
+        ns = FMatrix([[1, 0], [0, 1]]).nullspace()
+        assert ns.nrows == 0
+
+    def test_nullspace_vector_annihilates(self):
+        m = FMatrix([[1, 1, 0], [0, 1, 1]])
+        ns = m.nullspace()
+        assert ns.nrows == 1
+        v = ns.rows[0]
+        for row in m.rows:
+            assert sum(a * b for a, b in zip(row, v)) == 0
+
+    def test_inverse(self):
+        m = FMatrix([[2, 1], [1, 1]])
+        inv = m.inverse()
+        assert (m @ inv) == FMatrix.identity(2)
+
+    def test_inverse_singular_raises(self):
+        with pytest.raises(ValueError):
+            FMatrix([[1, 2], [2, 4]]).inverse()
+
+    def test_inverse_nonsquare_raises(self):
+        with pytest.raises(ValueError):
+            FMatrix([[1, 2, 3], [4, 5, 6]]).inverse()
+
+    def test_solve(self):
+        m = FMatrix([[2, 0], [0, 4]])
+        assert m.solve([2, 8]) == [1, 2]
+
+
+class TestOrthogonalComplement:
+    def test_empty_h_gives_identity(self):
+        assert orthogonal_complement([], 3) == [
+            [1, 0, 0],
+            [0, 1, 0],
+            [0, 0, 1],
+        ]
+
+    def test_paper_example_e1(self):
+        # H = [1 0 0]  ->  H_perp spans e2, e3 (Section 3.4 example).
+        perp = orthogonal_complement([[1, 0, 0]], 3)
+        assert len(perp) == 2
+        for row in perp:
+            assert row[0] == 0
+
+    def test_paper_example_skewed(self):
+        # H = [1 1 0]  ->  rows like [1 -1 0] and [0 0 1] up to sign/order.
+        perp = orthogonal_complement([[1, 1, 0]], 3)
+        assert len(perp) == 2
+        for row in perp:
+            assert row[0] + row[1] == 0  # orthogonal to (1, 1, 0)
+
+    def test_rows_are_orthogonal_to_h(self):
+        h = [[1, 2, 3], [0, 1, 1]]
+        perp = orthogonal_complement(h, 3)
+        assert len(perp) == 1
+        for hrow in h:
+            assert sum(a * b for a, b in zip(hrow, perp[0])) == 0
+
+    def test_mismatched_ncols_raises(self):
+        with pytest.raises(ValueError):
+            orthogonal_complement([[1, 0]], 3)
+
+    def test_full_rank_h_gives_empty(self):
+        assert orthogonal_complement([[1, 0], [0, 1]], 2) == []
+
+
+@st.composite
+def small_matrices(draw, max_n=4):
+    n = draw(st.integers(1, max_n))
+    m = draw(st.integers(1, max_n))
+    rows = draw(
+        st.lists(
+            st.lists(st.integers(-5, 5), min_size=m, max_size=m),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    return FMatrix(rows)
+
+
+class TestProperties:
+    @given(small_matrices())
+    @settings(max_examples=60)
+    def test_rank_bounded(self, m):
+        assert 0 <= m.rank() <= min(m.nrows, m.ncols)
+
+    @given(small_matrices())
+    @settings(max_examples=60)
+    def test_nullspace_dimension(self, m):
+        assert m.nullspace().nrows == m.ncols - m.rank()
+
+    @given(small_matrices())
+    @settings(max_examples=60)
+    def test_nullspace_annihilated(self, m):
+        ns = m.nullspace()
+        for v in ns.rows:
+            assert all(
+                sum(a * b for a, b in zip(row, v)) == 0 for row in m.rows
+            )
+
+    @given(small_matrices())
+    @settings(max_examples=60)
+    def test_double_transpose(self, m):
+        assert m.transpose().transpose() == m
+
+    @given(small_matrices())
+    @settings(max_examples=40)
+    def test_orthogonal_complement_property(self, m):
+        rows = m.to_int_rows()
+        perp = orthogonal_complement(rows, m.ncols)
+        for p in perp:
+            for h in rows:
+                assert sum(a * b for a, b in zip(h, p)) == 0

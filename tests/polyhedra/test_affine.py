@@ -1,0 +1,110 @@
+"""Tests for spaces and affine expressions."""
+
+import pytest
+
+from repro.polyhedra import AffExpr, Space
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N",))
+
+
+class TestSpace:
+    def test_ncols(self, sp):
+        assert sp.ncols == 4  # i, j, N, 1
+
+    def test_column_of(self, sp):
+        assert sp.column_of("i") == 0
+        assert sp.column_of("N") == 2
+        assert sp.const_col == 3
+
+    def test_unknown_name(self, sp):
+        with pytest.raises(KeyError):
+            sp.column_of("k")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            Space(("i", "i"))
+        with pytest.raises(ValueError):
+            Space(("i",), ("i",))
+
+    def test_add_drop_dims(self, sp):
+        bigger = sp.add_dims(["k"])
+        assert bigger.dims == ("i", "j", "k")
+        smaller = bigger.drop_dims(["j"])
+        assert smaller.dims == ("i", "k")
+
+    def test_product_renames(self, sp):
+        prod = sp.product(sp, {"i": "i'", "j": "j'"})
+        assert prod.dims == ("i", "j", "i'", "j'")
+        assert prod.params == ("N",)
+
+    def test_product_requires_same_params(self, sp):
+        with pytest.raises(ValueError):
+            sp.product(Space(("k",), ("M",)), {})
+
+
+class TestAffExpr:
+    def test_var_and_const(self, sp):
+        e = AffExpr.var(sp, "i") + AffExpr.const(sp, 3)
+        assert e.coeff_of("i") == 1
+        assert e.const_term == 3
+
+    def test_from_terms(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 1, "j": -1, "N": 1}, 2)
+        assert e.coeffs == (1, -1, 1, 2)
+
+    def test_arithmetic(self, sp):
+        i = AffExpr.var(sp, "i")
+        j = AffExpr.var(sp, "j")
+        e = 2 * i - j + 5
+        assert e.coeffs == (2, -1, 0, 5)
+        assert (-e).coeffs == (-2, 1, 0, -5)
+
+    def test_rsub(self, sp):
+        i = AffExpr.var(sp, "i")
+        e = 10 - i
+        assert e.coeffs == (-1, 0, 0, 10)
+
+    def test_evaluate(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 1, "j": 1, "N": -1}, 1)
+        assert e.evaluate({"i": 3, "j": 4, "N": 5}) == 3
+
+    def test_space_mismatch_raises(self, sp):
+        other = Space(("k",))
+        with pytest.raises(ValueError):
+            AffExpr.var(sp, "i") + AffExpr.var(other, "k")
+
+    def test_immutability(self, sp):
+        e = AffExpr.var(sp, "i")
+        with pytest.raises(AttributeError):
+            e.coeffs = (0, 0, 0, 0)
+
+    def test_terms_excludes_zero(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 1, "j": 0}, 7)
+        assert e.terms() == {"i": 1}
+
+    def test_is_constant(self, sp):
+        assert AffExpr.const(sp, 4).is_constant()
+        assert not AffExpr.var(sp, "i").is_constant()
+
+    def test_rebase_with_rename(self, sp):
+        target = Space(("s_i", "s_j", "t_i"), ("N",))
+        e = AffExpr.from_terms(sp, {"i": 2, "j": 1}, -1)
+        r = e.rebase(target, {"i": "s_i", "j": "s_j"})
+        assert r.coeff_of("s_i") == 2
+        assert r.coeff_of("t_i") == 0
+        assert r.const_term == -1
+
+    def test_normalized(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 2, "j": 4}, 6)
+        assert e.normalized().coeffs == (1, 2, 0, 3)
+
+    def test_str_readable(self, sp):
+        e = AffExpr.from_terms(sp, {"i": 1, "j": -1, "N": 1})
+        assert str(e) == "i - j + N"
+
+    def test_wrong_length_rejected(self, sp):
+        with pytest.raises(ValueError):
+            AffExpr(sp, (1, 2, 3))

@@ -1,0 +1,163 @@
+"""Tests for Fourier–Motzkin elimination and redundancy pruning."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.polyhedra.fourier_motzkin import (
+    eliminate_column,
+    eliminate_columns,
+    normalize_rows,
+    prune_redundant_rows,
+)
+
+# Row layout in these tests: (x, y, const)
+
+
+class TestNormalize:
+    def test_gcd_reduction(self):
+        rows = [((2, 4, 6), False)]
+        assert normalize_rows(rows) == [((1, 2, 3), False)]
+
+    def test_duplicate_removal(self):
+        rows = [((1, 0, 0), False), ((2, 0, 0), False)]
+        assert len(normalize_rows(rows)) == 1
+
+    def test_subsumption_same_slope(self):
+        # x + 5 >= 0 is implied by x + 2 >= 0
+        rows = [((1, 0, 5), False), ((1, 0, 2), False)]
+        out = normalize_rows(rows)
+        assert out == [((1, 0, 2), False)]
+
+    def test_trivial_rows_dropped(self):
+        rows = [((0, 0, 7), False), ((1, 0, 0), False)]
+        assert normalize_rows(rows) == [((1, 0, 0), False)]
+
+    def test_contradictions_kept(self):
+        rows = [((0, 0, -1), False)]
+        assert normalize_rows(rows) == [((0, 0, -1), False)]
+
+    def test_integer_tightening_of_inequalities(self):
+        # 2x + 1 >= 0 over integers tightens to x >= 0 (floor of 1/2)
+        rows = [((2, 0, 1), False)]
+        assert normalize_rows(rows) == [((1, 0, 0), False)]
+
+    def test_infeasible_equality_not_divided(self):
+        # 2x + 1 == 0 has no integer solution; kept visible un-normalized
+        rows = [((2, 0, 1), True)]
+        assert normalize_rows(rows) == [((2, 0, 1), True)]
+
+
+class TestEliminate:
+    def test_simple_projection(self):
+        # 0 <= y <= 5, x == y  -> projecting y: 0 <= x <= 5
+        rows = [
+            ((0, 1, 0), False),      # y >= 0
+            ((0, -1, 5), False),     # y <= 5
+            ((1, -1, 0), True),      # x == y
+        ]
+        out = eliminate_column(rows, 1)
+        assert ((1, 0, 0), False) in out
+        assert ((-1, 0, 5), False) in out
+
+    def test_lower_upper_combination(self):
+        # x <= y and y <= 3: eliminating y gives x <= 3
+        rows = [((-1, 1, 0), False), ((0, -1, 3), False)]
+        out = eliminate_column(rows, 1)
+        assert ((-1, 0, 3), False) in out
+
+    def test_unconstrained_column(self):
+        rows = [((1, 0, 0), False)]
+        assert eliminate_column(rows, 1) == [((1, 0, 0), False)]
+
+    def test_multi_column(self):
+        rows = [
+            ((1, 1, 0), False),
+            ((-1, 0, 4), False),
+            ((0, -1, 4), False),
+        ]
+        out = eliminate_columns(rows, [0, 1])
+        # fully projected: only trivially-true rows remain -> dropped
+        assert out == []
+
+
+class TestPruneRedundant:
+    def test_drops_implied_row(self):
+        # x >= 0, x >= -5: second is implied
+        rows = [((1, 0, 0), False), ((1, 0, 5), False)]
+        out = prune_redundant_rows(rows)
+        assert ((1, 0, 0), False) in out
+        assert len(out) == 1
+
+    def test_keeps_box(self):
+        rows = [
+            ((1, 0, 0), False), ((-1, 0, 5), False),
+            ((0, 1, 0), False), ((0, -1, 5), False),
+        ]
+        assert len(prune_redundant_rows(rows)) == 4
+
+    def test_diagonal_implied_by_box(self):
+        rows = [
+            ((1, 0, 0), False), ((-1, 0, 5), False),
+            ((0, 1, 0), False), ((0, -1, 5), False),
+            ((1, 1, 0), False),                       # x + y >= 0: implied
+        ]
+        out = prune_redundant_rows(rows)
+        assert ((1, 1, 0), False) not in out
+
+    def test_equalities_always_kept(self):
+        rows = [((1, -1, 0), True), ((1, 0, 0), False)]
+        out = prune_redundant_rows(rows)
+        assert ((1, -1, 0), True) in out
+
+
+@st.composite
+def random_system(draw):
+    n = draw(st.integers(2, 4))
+    rows = []
+    for _ in range(draw(st.integers(1, 6))):
+        coeffs = tuple(draw(st.integers(-3, 3)) for _ in range(n)) + (
+            draw(st.integers(-4, 8)),
+        )
+        rows.append((coeffs, False))
+    # bound the box so systems stay sane
+    for k in range(n):
+        lo = [0] * (n + 1)
+        hi = [0] * (n + 1)
+        lo[k], lo[-1] = 1, 3
+        hi[k], hi[-1] = -1, 3
+        rows.append((tuple(lo), False))
+        rows.append((tuple(hi), False))
+    return n, rows
+
+
+def _sat(rows, point):
+    for coeffs, eq in rows:
+        v = sum(c * p for c, p in zip(coeffs, point)) + coeffs[-1]
+        if (eq and v != 0) or (not eq and v < 0):
+            return False
+    return True
+
+
+class TestProperties:
+    @given(random_system(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_elimination_preserves_membership(self, sys_, data):
+        n, rows = sys_
+        point = [data.draw(st.integers(-3, 3)) for _ in range(n)]
+        if not _sat(rows, point):
+            return
+        col = data.draw(st.integers(0, n - 1))
+        out = eliminate_column(list(rows), col)
+        # projection of a member remains a member (column value irrelevant)
+        proj_point = list(point)
+        proj_point[col] = 0  # eliminated column is zeroed in all rows
+        assert _sat(out, proj_point)
+
+    @given(random_system(), st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_pruning_preserves_membership_both_ways(self, sys_, data):
+        n, rows = sys_
+        point = [data.draw(st.integers(-3, 3)) for _ in range(n)]
+        pruned = prune_redundant_rows(normalize_rows(list(rows)))
+        assert _sat(rows, point) == _sat(pruned, point)

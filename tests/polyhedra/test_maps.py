@@ -1,0 +1,71 @@
+"""Tests for affine maps (transformations and access functions)."""
+
+import pytest
+
+from repro.polyhedra import AffExpr, AffineMap, Space
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N",))
+
+
+class TestAffineMap:
+    def test_identity(self, sp):
+        m = AffineMap.identity(sp)
+        assert m.apply({"i": 2, "j": 5, "N": 9}) == (2, 5)
+
+    def test_paper_intro_example(self, sp):
+        # T(i, j) = (i - j + N, i + j + 1), Section 2.1.
+        m = AffineMap.from_terms(
+            sp, [({"i": 1, "j": -1, "N": 1}, 0), ({"i": 1, "j": 1}, 1)]
+        )
+        assert m.apply({"i": 3, "j": 1, "N": 10}) == (12, 5)
+
+    def test_dim_matrix_excludes_params(self, sp):
+        m = AffineMap.from_terms(sp, [({"i": 1, "N": 7}, 3)])
+        assert m.dim_matrix() == [[1, 0]]
+
+    def test_rank_and_one_to_one(self, sp):
+        skew = AffineMap.from_terms(sp, [({"i": 1, "j": 1}, 0), ({"j": 1}, 0)])
+        assert skew.rank() == 2
+        assert skew.is_one_to_one()
+        proj = AffineMap.from_terms(sp, [({"i": 1}, 0), ({"i": 2}, 5)])
+        assert proj.rank() == 1
+        assert not proj.is_one_to_one()
+
+    def test_reversal_is_one_to_one(self, sp):
+        rev = AffineMap.from_terms(sp, [({"i": -1, "N": 1}, -1), ({"j": 1}, 0)])
+        assert rev.is_one_to_one()
+        assert rev.apply({"i": 0, "j": 2, "N": 8}) == (7, 2)
+
+    def test_append_and_concat(self, sp):
+        m = AffineMap.identity(sp)
+        m2 = m.append(AffExpr.const(sp, 0))
+        assert m2.n_out == 3
+        m3 = m.concat(m)
+        assert m3.n_out == 4
+
+    def test_concat_domain_mismatch(self, sp):
+        other = AffineMap.identity(Space(("k",)))
+        with pytest.raises(ValueError):
+            AffineMap.identity(sp).concat(other)
+
+    def test_compose_unimodular(self, sp):
+        m = AffineMap.identity(sp)
+        skewed = m.compose_unimodular([[1, 1], [0, 1]])
+        assert skewed.apply({"i": 2, "j": 3, "N": 0}) == (5, 3)
+
+    def test_compose_bad_width(self, sp):
+        with pytest.raises(ValueError):
+            AffineMap.identity(sp).compose_unimodular([[1, 2, 3]])
+
+    def test_expr_space_mismatch_rejected(self, sp):
+        with pytest.raises(ValueError):
+            AffineMap(sp, [AffExpr.var(Space(("k",)), "k")])
+
+    def test_getitem_iter_len(self, sp):
+        m = AffineMap.identity(sp)
+        assert len(m) == 2
+        assert m[0].coeff_of("i") == 1
+        assert [e.coeff_of("j") for e in m] == [0, 1]

@@ -1,0 +1,86 @@
+"""Additional coverage for set operations used across the stack."""
+
+import pytest
+
+from repro.polyhedra import AffExpr, BasicSet, Constraint, Space, UnionSet, eq, ineq
+
+
+@pytest.fixture
+def sp():
+    return Space(("i", "j"), ("N",))
+
+
+class TestRebase:
+    def test_rebase_into_product_space(self, sp):
+        s = BasicSet.from_bounds(sp, {"i": (0, "N")})
+        prod = Space(("i__s", "j__s", "i__t", "j__t"), ("N",))
+        r = s.rebase(prod, {"i": "i__s", "j": "j__s"})
+        assert r.contains({"i__s": 0, "j__s": 9, "i__t": -5, "j__t": 0, "N": 3})
+        assert not r.contains({"i__s": 4, "j__s": 0, "i__t": 0, "j__t": 0, "N": 3})
+
+    def test_rebase_keeps_params(self, sp):
+        s = BasicSet(sp, [ineq(sp, {"i": 1, "N": -1})])  # i >= N
+        r = s.rebase(Space(("i",), ("N",)))
+        assert r.contains({"i": 5, "N": 5})
+        assert not r.contains({"i": 4, "N": 5})
+
+
+class TestCopyAndEquality:
+    def test_copy_is_independent(self, sp):
+        a = BasicSet.from_bounds(sp, {"i": (0, 5)})
+        b = a.copy()
+        b.add(ineq(sp, {"j": 1}))
+        assert len(a.constraints) != len(b.constraints)
+
+    def test_set_equality_ignores_order(self, sp):
+        c1 = ineq(sp, {"i": 1})
+        c2 = ineq(sp, {"j": 1})
+        a = BasicSet(sp, [c1, c2])
+        b = BasicSet(sp, [c2, c1])
+        assert a == b
+
+    def test_duplicate_constraints_deduped(self, sp):
+        s = BasicSet(sp)
+        s.add(ineq(sp, {"i": 1}))
+        s.add(ineq(sp, {"i": 1}))
+        assert len(s.constraints) == 1
+
+    def test_trivial_constraints_dropped(self, sp):
+        s = BasicSet(sp)
+        s.add(ineq(sp, {}, 5))
+        assert s.constraints == []
+
+
+class TestMinMaxEdge:
+    def test_min_equals_max_on_singleton(self, sp):
+        s = BasicSet(sp, [eq(sp, {"i": 1}, -3), eq(sp, {"j": 1}, -4),
+                          eq(sp, {"N": 1}, -9)])
+        e = AffExpr.from_terms(sp, {"i": 2, "j": 1})
+        assert s.min_of(e) == s.max_of(e) == 10
+
+    def test_min_over_parametric_lower_bound(self, sp):
+        # i >= N, N >= 3 fixed: min i tracks N
+        s = BasicSet(sp, [ineq(sp, {"i": 1, "N": -1}), eq(sp, {"N": 1}, -7),
+                          ineq(sp, {"i": -1}, 100), ineq(sp, {"j": 1}),
+                          ineq(sp, {"j": -1}, 5)])
+        assert s.min_of(AffExpr.var(sp, "i")) == 7
+
+
+class TestUnionSetOps:
+    def test_intersect_basic(self, sp):
+        left = BasicSet(sp, [ineq(sp, {"i": -1}, 4)])    # i <= 4
+        right = BasicSet(sp, [ineq(sp, {"i": 1}, -5)])   # i >= 5
+        u = UnionSet([left, right])
+        cut = u.intersect_basic(BasicSet(sp, [ineq(sp, {"j": 1})]))
+        assert len(cut) == 2
+        assert cut.contains({"i": 0, "j": 0, "N": 2})
+        assert not cut.contains({"i": 0, "j": -1, "N": 2})
+
+    def test_union_emptiness(self, sp):
+        a = BasicSet(sp, [ineq(sp, {}, -1)])
+        b = BasicSet(sp, [ineq(sp, {}, -1)])
+        assert UnionSet([a, b]).is_empty()
+
+    def test_union_str(self, sp):
+        u = UnionSet([BasicSet(sp), BasicSet(sp)])
+        assert " u " in str(u)

@@ -1,0 +1,63 @@
+"""Tests for shape inference and array allocation."""
+
+import numpy as np
+import pytest
+
+from repro.frontend import parse_program
+from repro.runtime import allocate_arrays, infer_shapes, random_arrays
+
+
+def prog(src, params=("N",), **kw):
+    return parse_program(src, "p", params=params, **kw)
+
+
+class TestInferShapes:
+    def test_simple_extents(self):
+        p = prog("for (i = 0; i < N; i++) A[i] = B[i+1];")
+        shapes = infer_shapes(p, {"N": 10})
+        assert shapes["A"] == (10,)
+        assert shapes["B"] == (11,)
+
+    def test_2d_and_transposed(self):
+        p = prog(
+            "for (i = 0; i < N; i++) for (j = 0; j < M; j++) A[i][j] = B[j][i];",
+            params=("N", "M"),
+        )
+        shapes = infer_shapes(p, {"N": 4, "M": 7})
+        assert shapes["A"] == (4, 7)
+        assert shapes["B"] == (7, 4)
+
+    def test_scalar_is_0d(self):
+        p = prog("for (i = 0; i < N; i++) x += A[i];")
+        shapes = infer_shapes(p, {"N": 4})
+        assert shapes["x"] == ()
+
+    def test_guarded_access_extends_shape(self):
+        from repro.workloads.periodic import heat_1dp
+
+        p = heat_1dp()
+        shapes = infer_shapes(p, {"N": 8, "T": 3})
+        assert shapes["A"] == (4, 8)  # t in 0..3 written
+
+    def test_constant_subscript(self):
+        p = prog("for (i = 0; i < N; i++) A[i] = B[0];")
+        assert infer_shapes(p, {"N": 5})["B"] == (1,)
+
+
+class TestAllocation:
+    def test_allocate_zero_filled(self):
+        p = prog("for (i = 0; i < N; i++) A[i] = 1.0;")
+        arrays = allocate_arrays(p, {"N": 6})
+        assert arrays["A"].shape == (6,)
+        assert (arrays["A"] == 0).all()
+
+    def test_random_deterministic(self):
+        p = prog("for (i = 0; i < N; i++) A[i] = B[i];")
+        a1 = random_arrays(p, {"N": 5}, seed=7)
+        a2 = random_arrays(p, {"N": 5}, seed=7)
+        assert np.array_equal(a1["B"], a2["B"])
+
+    def test_random_scalar_is_0d_array(self):
+        p = prog("for (i = 0; i < N; i++) x += A[i];")
+        arrays = random_arrays(p, {"N": 4})
+        assert arrays["x"].shape == ()

@@ -1,0 +1,80 @@
+"""Tests for the command-line driver."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FIG1 = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+        A[i+1][j+1] = 2.0 * A[i][j];
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    f = tmp_path / "kernel.c"
+    f.write_text(FIG1)
+    return str(f)
+
+
+class TestCLI:
+    def test_parser_builds(self):
+        parser = build_parser()
+        args = parser.parse_args(["opt", "x.c", "--params", "N", "--emit", "py"])
+        assert args.command == "opt" and args.emit == "py"
+
+    def test_opt_emits_c(self, kernel_file, capsys):
+        assert main(["opt", kernel_file, "--params", "N"]) == 0
+        out = capsys.readouterr().out
+        assert "for (int z0" in out
+
+    def test_opt_emits_schedule(self, kernel_file, capsys):
+        assert main(["opt", kernel_file, "--params", "N", "--emit", "schedule"]) == 0
+        out = capsys.readouterr().out
+        assert "T_S0" in out
+
+    def test_opt_emits_python_to_file(self, kernel_file, tmp_path, capsys):
+        out_file = tmp_path / "out.py"
+        rc = main(
+            ["opt", kernel_file, "--params", "N", "--emit", "py", "-o", str(out_file)]
+        )
+        assert rc == 0
+        assert "def kernel" in out_file.read_text()
+
+    def test_opt_pluto_algorithm(self, kernel_file, capsys):
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--algorithm", "pluto",
+             "--emit", "schedule"]
+        ) == 0
+
+    def test_opt_workload(self, capsys):
+        assert main(
+            ["opt", "--workload", "fig2-symmetric-consumer", "--emit", "schedule"]
+        ) == 0
+        assert "T_S0" in capsys.readouterr().out
+
+    def test_deps_command(self, kernel_file, capsys):
+        assert main(["deps", kernel_file, "--params", "N"]) == 0
+        out = capsys.readouterr().out
+        assert "RAW" in out and "distance (1, 1)" in out
+
+    def test_verify_command(self, kernel_file, capsys):
+        assert main(["verify", kernel_file, "--params", "N"]) == 0
+        assert "legal" in capsys.readouterr().out
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "gemm" in out and "heat-1dp" in out
+
+    def test_missing_input_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["opt", "--params", "N"])
+
+    def test_tile_zero_disables_tiling(self, kernel_file, capsys):
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--tile", "0", "--emit", "py"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "16*z0" not in out and "32*z0" not in out

@@ -1,0 +1,56 @@
+"""The docs/USAGE.md recipes, as regression tests (docs must stay runnable)."""
+
+from repro import PipelineOptions, ProgramBuilder, optimize, parse_program
+from repro.frontend import Access
+from repro.polyhedra import AffExpr, AffineMap
+from repro.runtime import validate_transformation
+from repro.workloads.periodic_util import periodic_reads
+
+WAVE = """
+for (t = 1; t < T; t++)
+    for (i = 1; i < N - 1; i++)
+        A[t+1][i] = 2.0*A[t][i] - A[t-1][i] + 0.25*(A[t][i-1] - 2.0*A[t][i] + A[t][i+1]);
+"""
+
+
+def test_wave_recipe():
+    p = parse_program(WAVE, "wave", params=("T", "N"), param_min=4)
+    r = optimize(p, PipelineOptions(algorithm="plutoplus", tile_size=4))
+    assert r.schedule.bands and r.schedule.bands[0].width == 2  # time-tilable
+    assert validate_transformation(p, r.tiled, {"T": 6, "N": 12}).ok
+
+
+def test_ring_builder_recipe():
+    b = ProgramBuilder("ring", params=("T", "N"), param_min=4)
+    with b.loop("t", 0, "T-1"):
+        with b.loop("i", 0, "N-1"):
+            sp = b.program.space_for(["t", "i"])
+            t, i = AffExpr.var(sp, "t"), AffExpr.var(sp, "i")
+            b.stmt(
+                "A[t+1][i] = 0.5*(A[t][(i+1)%N] + A[t][(i-1)%N])",
+                body_py="A[t+1, i] = 0.5*(A[t, (i+1) % N] + A[t, (i-1) % N])",
+                writes=[Access("A", AffineMap(sp, [t + 1, i]))],
+                reads=(
+                    periodic_reads(sp, "A", t, {"i": 1}, {"i": "N"})
+                    + periodic_reads(sp, "A", t, {"i": -1}, {"i": "N"})
+                ),
+            )
+    program = b.build()
+    res = optimize(program, PipelineOptions(iss=True, diamond=True))
+    assert res.used_iss and res.used_diamond
+    assert validate_transformation(res.program, res.tiled, {"T": 5, "N": 11}).ok
+
+
+def test_quickstart_readme_snippet():
+    program = parse_program(
+        """
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                A[i+1][j+1] = 0.5 * A[i][j] + B[i][j];
+        """,
+        "demo",
+        params=("N",),
+    )
+    result = optimize(program, PipelineOptions(algorithm="plutoplus"))
+    assert result.schedule.rows[0].parallel  # outer parallel via negative skew
+    assert "def kernel" in result.code.python_source

@@ -1,0 +1,68 @@
+"""Tests for the benchmark-report formatting helpers."""
+
+import pytest
+
+from repro.reporting import ascii_series, format_table, geomean, normalized_breakdown
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2, 8]) == pytest.approx(4.0)
+
+    def test_ignores_nonpositive(self):
+        assert geomean([2, 8, 0, -3]) == pytest.approx(4.0)
+
+    def test_empty(self):
+        assert geomean([]) == 0.0
+
+    def test_identity(self):
+        assert geomean([1.15]) == pytest.approx(1.15)
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["name", "x"], [["a", 1.0], ["long-name", 12.5]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert len(set(len(l) for l in lines)) == 1  # equal widths
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456]])
+        assert "1.235" in text
+
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "b" in text
+
+
+class TestNormalizedBreakdown:
+    def test_fractions_sum_to_one(self):
+        out = normalized_breakdown({"a": 1.0, "b": 3.0})
+        assert sum(out.values()) == pytest.approx(1.0)
+        assert out["b"] == pytest.approx(0.75)
+
+    def test_zero_total(self):
+        assert normalized_breakdown({"a": 0.0}) == {"a": 0.0}
+
+
+class TestAsciiSeries:
+    def test_plot_shape(self):
+        text = ascii_series([1, 2, 4, 8], {"pluto": [4, 3, 2, 2], "plus": [4, 2, 1, 0.5]})
+        lines = text.splitlines()
+        assert lines[-2].startswith("+")
+        assert "*=pluto" in lines[-1]
+
+    def test_markers_present(self):
+        text = ascii_series([1, 16], {"a": [1, 2], "b": [2, 4]})
+        assert "*" in text and "o" in text
+
+    def test_log_scale(self):
+        text = ascii_series([1, 2], {"a": [1, 1000]}, logy=True)
+        assert "(no data)" not in text
+
+    def test_log_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_series([1, 2], {"a": [0, 1]}, logy=True)
+
+    def test_no_data(self):
+        assert ascii_series([1], {"a": [1]}) == "(no data)"

@@ -1,0 +1,79 @@
+"""Tests for periodic (wraparound) access modeling."""
+
+import pytest
+
+from repro.polyhedra import AffExpr, Space
+from repro.workloads.periodic_util import periodic_reads, plain_access
+
+
+@pytest.fixture
+def sp():
+    return Space(("t", "i", "j"), ("T", "N"))
+
+
+class TestPeriodicReads:
+    def test_zero_shift_single_unguarded(self, sp):
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": 0, "j": 0}, {"i": "N", "j": "N"})
+        assert len(accs) == 1
+        assert accs[0].guard is None
+
+    def test_single_shift_two_cases(self, sp):
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": 1, "j": 0}, {"i": "N", "j": "N"})
+        assert len(accs) == 2
+        interior = next(a for a in accs if a.guard.contains(
+            {"t": 0, "i": 0, "j": 0, "T": 4, "N": 4}
+        ))
+        wrap = next(a for a in accs if a is not interior)
+        # interior at i=0 reads i+1
+        assert interior.map.apply({"t": 2, "i": 0, "j": 3, "T": 4, "N": 4}) == (2, 1, 3)
+        # wrap applies only at i = N-1 and reads index 0
+        assert wrap.guard.contains({"t": 0, "i": 3, "j": 0, "T": 4, "N": 4})
+        assert not wrap.guard.contains({"t": 0, "i": 2, "j": 0, "T": 4, "N": 4})
+        assert wrap.map.apply({"t": 2, "i": 3, "j": 1, "T": 4, "N": 4}) == (2, 0, 1)
+
+    def test_negative_shift_wraps_to_top(self, sp):
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": -1, "j": 0}, {"i": "N", "j": "N"})
+        wrap = next(
+            a for a in accs
+            if a.guard.contains({"t": 0, "i": 0, "j": 0, "T": 4, "N": 4})
+            and not a.guard.contains({"t": 0, "i": 1, "j": 0, "T": 4, "N": 4})
+        )
+        assert wrap.map.apply({"t": 1, "i": 0, "j": 2, "T": 4, "N": 4}) == (1, 3, 2)
+
+    def test_diagonal_shift_four_cases(self, sp):
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": 1, "j": -1}, {"i": "N", "j": "N"})
+        assert len(accs) == 4
+
+    def test_guards_partition_domain(self, sp):
+        """At every domain point exactly one guarded case applies."""
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": 1, "j": 1}, {"i": "N", "j": "N"})
+        n = 4
+        for i in range(n):
+            for j in range(n):
+                point = {"t": 0, "i": i, "j": j, "T": 3, "N": n}
+                hits = [a for a in accs if a.guard is None or a.guard.contains(point)]
+                assert len(hits) == 1, (i, j)
+
+    def test_reads_stay_in_bounds(self, sp):
+        t = AffExpr.var(sp, "t")
+        accs = periodic_reads(sp, "A", t, {"i": 1, "j": 0}, {"i": "N", "j": "N"})
+        n = 5
+        for i in range(n):
+            point = {"t": 0, "i": i, "j": 2, "T": 3, "N": n}
+            acc = next(a for a in accs if a.guard is None or a.guard.contains(point))
+            idx = acc.map.apply(point)
+            assert 0 <= idx[1] < n
+
+
+class TestPlainAccess:
+    def test_from_exprs(self, sp):
+        t = AffExpr.var(sp, "t")
+        i = AffExpr.var(sp, "i")
+        acc = plain_access(sp, "B", [t + 1, i])
+        assert acc.array == "B"
+        assert acc.map.apply({"t": 1, "i": 2, "j": 0, "T": 4, "N": 4}) == (2, 2)
