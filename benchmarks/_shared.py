@@ -13,6 +13,7 @@ Scale control via ``REPRO_BENCH_SCALE``:
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from typing import Optional
 
@@ -27,7 +28,7 @@ __all__ = [
     "PALABOS_REFERENCE_MLUPS",
 ]
 
-_RESULTS: dict[tuple[str, str], OptimizationResult] = {}
+_RESULTS: dict[tuple[str, tuple], OptimizationResult] = {}
 
 #: Palabos reference throughput at 16 cores (Fig. 6 d-f reference lines,
 #: read off the paper's plots; a reference point, not a system under test).
@@ -73,10 +74,17 @@ def perf_workloads() -> list[Workload]:
     return [get_workload(n) for n in names]
 
 
-def optimize_cached(workload: Workload, algorithm: str) -> OptimizationResult:
-    key = (workload.name, algorithm)
+def optimize_cached(
+    workload: Workload, algorithm: str, **overrides
+) -> OptimizationResult:
+    """Run the pipeline once per distinct configuration.
+
+    The cache key covers the *full* :class:`PipelineOptions` (not just the
+    algorithm), so benches passing overrides — a different backend, tile
+    size, fusion mode, ... — never alias each other's results.
+    """
+    options = workload.pipeline_options(algorithm, **overrides)
+    key = (workload.name, dataclasses.astuple(options))
     if key not in _RESULTS:
-        _RESULTS[key] = optimize(
-            workload.program(), workload.pipeline_options(algorithm)
-        )
+        _RESULTS[key] = optimize(workload.program(), options)
     return _RESULTS[key]

@@ -1,0 +1,133 @@
+"""Solver baseline: exact-backend speedup over the seed solver.
+
+Runs the full pipeline with ``--ilp-backend exact`` twice per workload —
+once on the current solver stack (integer-scaled warm-started simplex) and
+once with ``REPRO_EXACT_LEGACY=1`` (the seed's dense Fraction tableau, cold
+lexmin sequence, no row dedup or skeleton reuse) — verifies the two produce
+**identical schedules**, and writes ``BENCH_solver.json`` with per-workload
+auto-transformation times and the geometric means.
+
+The workload list is the Polybench subset on which the seed solver
+terminates in minutes; the larger models take hours under the seed engine,
+which is the point of the fast path (and of ``auto`` routing them to HiGHS).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/solver_baseline.py [-o BENCH_solver.json]
+
+Exits non-zero if any schedule differs or the geomean speedup is < 2x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.pipeline import optimize
+from repro.reporting import format_table, geomean
+from repro.workloads import get_workload
+
+#: Polybench models where the seed exact solver finishes in minutes
+WORKLOADS = [
+    "floyd-warshall",
+    "mvt",
+    "gemm",
+    "syrk",
+    "trisolv",
+    "lu",
+    "seidel-2d",
+]
+
+_QUICK = ["floyd-warshall", "mvt", "gemm", "syrk"]
+
+
+def _run(name: str, legacy: bool):
+    if legacy:
+        os.environ["REPRO_EXACT_LEGACY"] = "1"
+    else:
+        os.environ.pop("REPRO_EXACT_LEGACY", None)
+    try:
+        workload = get_workload(name)
+        options = workload.pipeline_options("plutoplus", ilp_backend="exact")
+        t0 = time.perf_counter()
+        result = optimize(workload.program(), options=options)
+        wall = time.perf_counter() - t0
+        return result, wall
+    finally:
+        os.environ.pop("REPRO_EXACT_LEGACY", None)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_solver.json")
+    args = parser.parse_args(argv)
+
+    names = _QUICK if os.environ.get("REPRO_BENCH_SCALE") == "quick" else WORKLOADS
+    entries = []
+    mismatches = []
+    for name in names:
+        new, _ = _run(name, legacy=False)
+        old, _ = _run(name, legacy=True)
+        if new.schedule.pretty() != old.schedule.pretty():
+            mismatches.append(name)
+        t_new = new.timing.auto_transformation
+        t_old = old.timing.auto_transformation
+        entries.append(
+            {
+                "workload": name,
+                "auto_seconds": t_new,
+                "auto_seconds_seed": t_old,
+                "speedup": t_old / t_new if t_new > 0 else float("inf"),
+                "ilp_solve_seconds": new.timing.ilp_solve,
+                "schedule_identical": name not in mismatches,
+                "solver": new.scheduler_stats.solve.as_dict(),
+            }
+        )
+        print(
+            f"{name}: seed {t_old:.3f}s -> {t_new:.3f}s "
+            f"({t_old / t_new:.1f}x){' MISMATCH' if name in mismatches else ''}",
+            flush=True,
+        )
+
+    g_new = geomean([e["auto_seconds"] for e in entries])
+    g_old = geomean([e["auto_seconds_seed"] for e in entries])
+    g_speedup = geomean([e["speedup"] for e in entries])
+    report = {
+        "backend": "exact",
+        "algorithm": "plutoplus",
+        "workloads": entries,
+        "geomean_auto_seconds": g_new,
+        "geomean_auto_seconds_seed": g_old,
+        "geomean_speedup": g_speedup,
+        "schedules_identical": not mismatches,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print("\nExact-solver auto-transformation time (seconds)")
+    print(
+        format_table(
+            ["workload", "seed", "new", "speedup"],
+            [
+                [e["workload"], e["auto_seconds_seed"], e["auto_seconds"], e["speedup"]]
+                for e in entries
+            ],
+        )
+    )
+    print(f"  geomean: seed {g_old:.3f}s, new {g_new:.3f}s, speedup {g_speedup:.1f}x")
+    print(f"  wrote {args.output}")
+
+    if mismatches:
+        print(f"FAIL: schedule mismatch on {', '.join(mismatches)}", file=sys.stderr)
+        return 1
+    if g_speedup < 2.0:
+        print(f"FAIL: geomean speedup {g_speedup:.2f}x < 2x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -59,6 +59,12 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--l2tile", action="store_true", help="second-level tiling")
     opt.add_argument("--intra-tile", action="store_true",
                      help="rotate a parallel loop innermost in point bands")
+    opt.add_argument("--ilp-backend", choices=("auto", "exact", "highs"),
+                     default="highs",
+                     help="lexmin ILP backend (auto switches on model size)")
+    opt.add_argument("--stats", action="store_true",
+                     help="print solver counters (pivots, B&B nodes, "
+                          "warm-start hits, ...) to stderr")
     opt.add_argument("--emit", choices=("c", "py", "schedule"), default="c")
     opt.add_argument("-o", "--output", help="write emitted code to a file")
 
@@ -101,6 +107,7 @@ def _pipeline_options(args) -> PipelineOptions:
         iss=getattr(args, "iss", False),
         diamond=getattr(args, "diamond", False),
         coeff_bound=getattr(args, "bound", 4),
+        ilp_backend=getattr(args, "ilp_backend", "highs"),
         fuse=getattr(args, "fuse", "smart"),
         l2tile=getattr(args, "l2tile", False),
         intra_tile=getattr(args, "intra_tile", False),
@@ -113,6 +120,13 @@ def _cmd_opt(args) -> int:
     print(f"# {program.name}: {args.algorithm}", file=sys.stderr)
     print(f"# ISS: {result.used_iss}, diamond: {result.used_diamond}", file=sys.stderr)
     print(f"# timing: {result.timing.as_dict()}", file=sys.stderr)
+    if getattr(args, "stats", False) and result.scheduler_stats is not None:
+        from repro.reporting import format_solve_stats
+
+        st = result.scheduler_stats
+        print(f"# solver stats ({', '.join(sorted(st.backends_used)) or 'n/a'}):",
+              file=sys.stderr)
+        print(format_solve_stats(st.solve.as_dict(), indent="#   "), file=sys.stderr)
     if args.emit == "schedule":
         out = result.schedule.pretty() + "\n"
     elif args.emit == "py":

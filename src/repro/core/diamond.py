@@ -26,10 +26,11 @@ band search.
 
 from __future__ import annotations
 
+import time
 from typing import Optional, Sequence
 
 from repro.core.names import W_NAME, c0_name, c_name, d_name, u_name
-from repro.core.scheduler import PlutoScheduler, SchedulerOptions
+from repro.core.scheduler import PlutoScheduler, SchedulerOptions, SchedulerStats
 from repro.core.transform import Band, Schedule, ScheduleRow
 from repro.deps.ddg import DependenceGraph
 from repro.frontend.ir import Program
@@ -54,8 +55,13 @@ def find_diamond_schedule(
     program: Program,
     ddg: DependenceGraph,
     options: Optional[SchedulerOptions] = None,
+    stats: Optional[SchedulerStats] = None,
 ) -> Optional[Schedule]:
-    """Search for a full-depth diamond band; ``None`` if not applicable."""
+    """Search for a full-depth diamond band; ``None`` if not applicable.
+
+    When ``stats`` is given, solver counters from the internal scheduler
+    accumulate into it (the pipeline's ``--stats`` plumbing).
+    """
     options = options or SchedulerOptions()
     time_iter = _common_time_iterator(program)
     if time_iter is None:
@@ -65,6 +71,8 @@ def find_diamond_schedule(
         return None
 
     scheduler = PlutoScheduler(program, ddg, options)
+    if stats is not None:
+        scheduler.stats = stats
     ddg.reset()
     sched = Schedule(program)
     active = list(ddg.deps)
@@ -149,12 +157,18 @@ def _find_constrained_hyperplane(
             model.add_constraint(neg, big_m - 1)
         else:
             model.add_constraint({c_name(s, d): 1 for d in space_dims}, -1)
+    t0 = time.perf_counter()
     result = lexmin(
         model,
         backend=scheduler.options.ilp_backend,
         auto_threshold=scheduler.options.auto_threshold,
     )
+    dt = time.perf_counter() - t0
     scheduler.stats.ilp_solves += result.solves
+    scheduler.stats.backends_used.add(result.backend)
+    scheduler.stats.solve_seconds += dt
+    scheduler.stats.solve.merge(result.stats)
+    scheduler.stats.solve.solve_seconds += dt
     if not result.is_optimal:
         return None
     exprs = {}

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import Optional, Sequence
 
 from repro.core.farkas import bounding_constraints, legality_constraints
@@ -53,9 +54,10 @@ from repro.core.transform import Band, Schedule, ScheduleRow
 from repro.deps.analysis import Dependence
 from repro.deps.ddg import DependenceGraph
 from repro.frontend.ir import Program, Statement
-from repro.ilp import ILPModel, LinearConstraint, lexmin
+from repro.ilp import ILPModel, LinearConstraint, SolveStats, legacy_exact_mode, lexmin
 from repro.linalg import FMatrix
 from repro.polyhedra import AffExpr, Constraint
+from repro.polyhedra.fourier_motzkin import normalize_row
 
 __all__ = ["SchedulerOptions", "SchedulerError", "PlutoScheduler", "SchedulerStats"]
 
@@ -104,6 +106,9 @@ class SchedulerStats:
     cuts: int = 0
     solve_seconds: float = 0.0
     backends_used: set = field(default_factory=set)
+    #: aggregated solver counters (pivots, B&B nodes, warm-start hits,
+    #: dedup savings, ...) across every lexmin issued by this scheduler
+    solve: SolveStats = field(default_factory=SolveStats)
 
 
 class PlutoScheduler:
@@ -120,6 +125,10 @@ class PlutoScheduler:
         # Lazily computed Farkas constraints per dependence (they do not
         # depend on the level, so one elimination serves the whole run).
         self._farkas_cache: dict[int, tuple[list, list]] = {}
+        # Model skeletons (variables + csum + Farkas rows) keyed by the
+        # active dependence set: within a band the active set is constant,
+        # so only the per-level independence/avoidance rows are rebuilt.
+        self._skeleton_cache: dict[tuple, tuple[ILPModel, set]] = {}
         # Exact satisfaction tracking: the sub-polyhedron of instance pairs
         # not yet strictly ordered by earlier levels.
         self._remaining = {id(d): d.polyhedron for d in ddg.deps}
@@ -215,29 +224,61 @@ class PlutoScheduler:
 
     # -- the per-level ILP ----------------------------------------------------------
 
-    def build_model(
-        self, sched: Schedule, active: Sequence[Dependence]
-    ) -> ILPModel:
+    def _add_con(self, model: ILPModel, seen: set, con: LinearConstraint) -> None:
+        """Normalized, de-duplicated constraint insertion.
+
+        Rows are gcd-normalized (reusing the Fourier–Motzkin row machinery)
+        before keying, so dependences with the same shape — or scaled
+        variants of the same facet — collapse to one row; trivially-true
+        rows are dropped outright.  The exact backend's cost grows with the
+        row count, so every collapsed row is a direct solver saving
+        (counted in ``stats.solve.dedup_rows``).
+        """
+        legacy = legacy_exact_mode()
+        key = None
+        if not legacy:
+            items = sorted(con.coeffs.items())
+            vals: list[int] = []
+            integral = True
+            for _, v in items:
+                f = Fraction(v)
+                if f.denominator != 1:
+                    integral = False
+                    break
+                vals.append(int(f))
+            const = Fraction(con.const)
+            if integral and const.denominator == 1:
+                raw = (tuple(vals) + (int(const),), con.equality)
+                norm = normalize_row(raw)
+                if norm is None:
+                    self.stats.solve.dedup_rows += 1
+                    return  # trivially satisfied
+                nrow, neq = norm
+                coeffs = {
+                    name: c for (name, _), c in zip(items, nrow[:-1]) if c
+                }
+                con = LinearConstraint(coeffs, nrow[-1], neq, con.label)
+                key = (tuple(sorted(coeffs.items())), nrow[-1], neq)
+        if key is None:
+            key = (tuple(sorted(con.coeffs.items())), con.const, con.equality)
+        if key in seen:
+            self.stats.solve.dedup_rows += 1
+            return
+        seen.add(key)
+        model.add_constraint(con.coeffs, con.const, con.equality, con.label)
+
+    def _build_skeleton(
+        self, active: Sequence[Dependence]
+    ) -> tuple[ILPModel, set]:
+        """Variables, objective order, csum rows, and the Farkas rows of the
+        active dependence set — everything that does not change while the
+        current band is being grown."""
         opts = self.options
         plus = opts.algorithm == "plutoplus"
         b = opts.coeff_bound
         model = ILPModel()
         order: list[str] = []
-        seen_rows: set = set()
-
-        def add_con(con: LinearConstraint) -> None:
-            """De-duplicated constraint insertion (dependences with the same
-            shape generate identical Farkas rows, and the exact backend's
-            cost grows with the row count)."""
-            key = (
-                tuple(sorted(con.coeffs.items())),
-                con.const,
-                con.equality,
-            )
-            if key in seen_rows:
-                return
-            seen_rows.add(key)
-            model.add_constraint(con.coeffs, con.const, con.equality, con.label)
+        seen: set = set()
 
         for p in self.program.params:
             model.add_variable(u_name(p), lower=0)
@@ -247,7 +288,6 @@ class PlutoScheduler:
 
         use_csum = plus and opts.csum_objective
         for s in self.program.statements:
-            full = sched.rank[s.name] >= s.dim
             if use_csum:
                 model.add_variable(csum_name(s), lower=0, upper=b * max(s.dim, 1))
                 order.append(csum_name(s))
@@ -267,29 +307,55 @@ class PlutoScheduler:
                 order.append(delta_name(s))
                 model.add_variable(deltal_name(s), lower=0, upper=1)
                 order.append(deltal_name(s))
-
-            if plus:
-                if use_csum:
-                    for con in _csum_constraints(s, b):
-                        add_con(con)
-                if not full and s.dim > 0:
-                    for con in plutoplus_nonzero_constraints(s, b):
-                        add_con(con)
-                    for con in plutoplus_independence_constraints(
-                        s, sched.h_rows(s), b
-                    ):
-                        add_con(con)
-            else:
-                if not full and s.dim > 0:
-                    for con in pluto_independence_constraints(s, sched.h_rows(s)):
-                        add_con(con)
+            if plus and use_csum:
+                for con in _csum_constraints(s, b):
+                    self._add_con(model, seen, con)
 
         for dep in active:
             legal, bound = self._farkas(dep)
             for con in legal + bound:
-                add_con(con)
+                self._add_con(model, seen, con)
 
         model.set_objective_order(order)
+        return model, seen
+
+    def build_model(
+        self, sched: Schedule, active: Sequence[Dependence]
+    ) -> ILPModel:
+        opts = self.options
+        plus = opts.algorithm == "plutoplus"
+        b = opts.coeff_bound
+
+        use_cache = not legacy_exact_mode()
+        key = tuple(sorted(id(d) for d in active))
+        cached = self._skeleton_cache.get(key) if use_cache else None
+        if cached is None:
+            skeleton, skeleton_seen = self._build_skeleton(active)
+            if use_cache:
+                self._skeleton_cache[key] = (skeleton, skeleton_seen)
+        else:
+            skeleton, skeleton_seen = cached
+            self.stats.solve.models_reused += 1
+
+        # Only the level-dependent rows are added on top of the (possibly
+        # cached) skeleton: zero-avoidance and linear independence against
+        # the hyperplanes found so far.
+        model = skeleton.clone()
+        seen = set(skeleton_seen)
+        for s in self.program.statements:
+            full = sched.rank[s.name] >= s.dim
+            if full or s.dim == 0:
+                continue
+            if plus:
+                for con in plutoplus_nonzero_constraints(s, b):
+                    self._add_con(model, seen, con)
+                for con in plutoplus_independence_constraints(
+                    s, sched.h_rows(s), b
+                ):
+                    self._add_con(model, seen, con)
+            else:
+                for con in pluto_independence_constraints(s, sched.h_rows(s)):
+                    self._add_con(model, seen, con)
         return model
 
     def find_hyperplane(
@@ -305,9 +371,12 @@ class PlutoScheduler:
             backend=self.options.ilp_backend,
             auto_threshold=self.options.auto_threshold,
         )
-        self.stats.solve_seconds += time.perf_counter() - t0
+        dt = time.perf_counter() - t0
+        self.stats.solve_seconds += dt
         self.stats.ilp_solves += result.solves
         self.stats.backends_used.add(result.backend)
+        self.stats.solve.merge(result.stats)
+        self.stats.solve.solve_seconds += dt
         if not result.is_optimal:
             return None
         exprs: dict[str, AffExpr] = {}

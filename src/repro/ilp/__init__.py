@@ -9,24 +9,40 @@ from repro.ilp.branch_bound import (
     ILPResult,
     ILPStatus,
     solve_ilp,
+    solve_ilp_warm,
 )
 from repro.ilp.highs_backend import solve_ilp_highs
-from repro.ilp.lexmin import AUTO_THRESHOLD, LexminResult, lexmin, pick_backend
-from repro.ilp.model import ILPModel, LinearConstraint, SolveStats, Variable
-from repro.ilp.simplex import LPResult, LPStatus, solve_lp
+from repro.ilp.lexmin import (
+    AUTO_CONSTRAINT_THRESHOLD,
+    AUTO_THRESHOLD,
+    LexminResult,
+    lexmin,
+    pick_backend,
+)
+from repro.ilp.model import (
+    ILPModel,
+    LinearConstraint,
+    SolveStats,
+    Variable,
+    legacy_exact_mode,
+)
+from repro.ilp.simplex import IncrementalLP, LPResult, LPStatus, solve_lp
 
 __all__ = [
+    "AUTO_CONSTRAINT_THRESHOLD",
     "AUTO_THRESHOLD",
     "BranchAndBoundError",
     "ILPModel",
     "ILPResult",
     "ILPStatus",
+    "IncrementalLP",
     "LexminResult",
     "LinearConstraint",
     "LPResult",
     "LPStatus",
     "SolveStats",
     "Variable",
+    "legacy_exact_mode",
     "lexmin",
     "pick_backend",
     "solve_ilp",

@@ -15,9 +15,15 @@ from fractions import Fraction
 from typing import Mapping, Optional, Sequence
 
 from repro.ilp.model import ILPModel, LinearConstraint, SolveStats
-from repro.ilp.simplex import LPStatus, solve_lp
+from repro.ilp.simplex import IncrementalLP, LPStatus, solve_lp
 
-__all__ = ["ILPResult", "ILPStatus", "solve_ilp", "BranchAndBoundError"]
+__all__ = [
+    "ILPResult",
+    "ILPStatus",
+    "solve_ilp",
+    "solve_ilp_warm",
+    "BranchAndBoundError",
+]
 
 
 class ILPStatus:
@@ -133,3 +139,89 @@ def solve_ilp(
         return ILPResult(ILPStatus.INFEASIBLE, stats=stats)
     incumbent.stats = stats
     return incumbent
+
+
+def solve_ilp_warm(
+    inc: IncrementalLP,
+    model: ILPModel,
+    objective: Mapping[str, int | Fraction],
+    node_limit: int = 20000,
+) -> tuple[ILPResult, bool]:
+    """Branch-and-bound on a live :class:`IncrementalLP` tableau.
+
+    The root relaxation runs warm from whatever basis ``inc`` currently
+    holds, and every branching cut is appended warm (single-artificial
+    repair) on a snapshot of its parent — no subproblem ever rebuilds the
+    tableau or re-runs full phase 1.  Returns ``(result, at_root)`` where
+    ``at_root`` says the root relaxation was already integral; in that case
+    the optimal basis is left in place (so a following ``fix`` is free),
+    otherwise the tableau is restored to its pre-call state.
+    """
+    stats = SolveStats()
+    root = inc.snapshot()
+    integral_objective = all(
+        Fraction(coef).denominator == 1 for coef in objective.values()
+    )
+    incumbent: Optional[ILPResult] = None
+    # (parent snapshot, cut to apply); the root node has no cut.
+    stack: list[tuple[tuple, Optional[LinearConstraint]]] = [(root, None)]
+    nodes = 0
+    at_root = False
+
+    while stack:
+        snap, cut = stack.pop()
+        nodes += 1
+        if nodes > node_limit:
+            inc.restore(root)
+            raise BranchAndBoundError(
+                f"branch-and-bound node limit ({node_limit}) exceeded"
+            )
+        if cut is not None:
+            inc.restore(snap)
+            before = inc.pivots
+            ok = inc.add_constraint(cut)
+            stats.simplex_pivots += inc.pivots - before
+            if not ok:
+                continue
+        lp = inc.minimize(objective)
+        stats.lp_solves += 1
+        stats.simplex_pivots += lp.pivots
+        if lp.status == LPStatus.INFEASIBLE:
+            continue
+        if lp.status == LPStatus.UNBOUNDED:
+            inc.restore(root)
+            stats.bb_nodes = nodes
+            return ILPResult(ILPStatus.UNBOUNDED, stats=stats), False
+
+        if incumbent is not None and incumbent.objective is not None:
+            bound = math.ceil(lp.objective) if integral_objective else lp.objective
+            if bound >= incumbent.objective:
+                continue
+
+        frac_var = _first_fractional(model, lp.assignment)
+        if frac_var is None:
+            if incumbent is None or lp.objective < incumbent.objective:
+                incumbent = ILPResult(
+                    ILPStatus.OPTIMAL, lp.objective, dict(lp.assignment)
+                )
+                at_root = cut is None and nodes == 1
+            continue
+
+        value = lp.assignment[frac_var]
+        floor_v = value.numerator // value.denominator
+        here = inc.snapshot()
+        stack.append(
+            (here, LinearConstraint({frac_var: 1}, -(floor_v + 1), label="bb-up"))
+        )
+        stack.append(
+            (here, LinearConstraint({frac_var: -1}, floor_v, label="bb-down"))
+        )
+
+    stats.bb_nodes = nodes
+    if incumbent is None:
+        inc.restore(root)
+        return ILPResult(ILPStatus.INFEASIBLE, stats=stats), False
+    if not at_root:
+        inc.restore(root)
+    incumbent.stats = stats
+    return incumbent, at_root

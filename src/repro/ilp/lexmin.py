@@ -8,16 +8,31 @@ the optimum before moving to the next.  This is the standard reduction of
 
 Two backends are available, mirroring the paper's PIP/GLPK split:
 
-* ``"exact"`` — rational simplex + branch-and-bound (:mod:`repro.ilp.branch_bound`);
+* ``"exact"`` — integer-scaled simplex + branch-and-bound
+  (:mod:`repro.ilp.simplex` / :mod:`repro.ilp.branch_bound`);
 * ``"highs"`` — scipy/HiGHS (:mod:`repro.ilp.highs_backend`);
-* ``"auto"`` — exact below ``auto_threshold`` variables, HiGHS above (the
-  paper switched to GLPK for models with 100+ variables, e.g. swim's 219).
+* ``"auto"`` — exact below :data:`AUTO_THRESHOLD` variables *and*
+  :data:`AUTO_CONSTRAINT_THRESHOLD` constraints, HiGHS beyond (the paper
+  switched to GLPK for models with 100+ variables, e.g. swim's 219).
 
-A cheap but important shortcut: after each step the driver holds a feasible
-assignment satisfying all fixings; when the next objective variable already
-sits at its lower bound in that assignment, its minimum is known and no solve
-is issued.  Most ``delta``/coefficient variables resolve this way, which keeps
-the sequential scheme fast.
+The exact backend is **warm-started**: one :class:`IncrementalLP` tableau is
+built (one phase 1) and persists across the whole objective sequence — after
+objective ``k`` is pinned via :meth:`IncrementalLP.fix`, objective ``k+1``
+re-optimizes from the previous optimal basis, and branch-and-bound cuts are
+applied warm on snapshots.  Two solve-avoidance shortcuts run first:
+
+* the driver holds a feasible assignment satisfying all fixings; when the
+  next objective variable already sits at its lower bound there, its minimum
+  is known and no solve is issued (most ``delta``/coefficient variables
+  resolve this way);
+* otherwise a *feasible-assignment probe* sets **all** remaining objective
+  variables to their lower bounds at once and checks the model; if feasible,
+  every remaining minimum is known and the sequence finishes with no further
+  solves.
+
+``REPRO_EXACT_LEGACY=1`` disables both the warm start and the probe (and the
+Fraction reference tableau takes over underneath), reproducing the seed
+solver for baseline measurements.
 """
 
 from __future__ import annotations
@@ -26,11 +41,18 @@ from dataclasses import dataclass, field
 from fractions import Fraction
 from typing import Callable, Mapping, Optional, Sequence
 
-from repro.ilp.branch_bound import ILPResult, ILPStatus, solve_ilp
+from repro.ilp.branch_bound import ILPResult, ILPStatus, solve_ilp, solve_ilp_warm
 from repro.ilp.highs_backend import solve_ilp_highs
-from repro.ilp.model import ILPModel, LinearConstraint, SolveStats
+from repro.ilp.model import ILPModel, LinearConstraint, SolveStats, legacy_exact_mode
+from repro.ilp.simplex import IncrementalLP
 
-__all__ = ["LexminResult", "lexmin", "AUTO_THRESHOLD"]
+__all__ = [
+    "LexminResult",
+    "lexmin",
+    "pick_backend",
+    "AUTO_THRESHOLD",
+    "AUTO_CONSTRAINT_THRESHOLD",
+]
 
 AUTO_THRESHOLD = 80
 #: beyond this many constraints the pure-Python exact simplex is too slow
@@ -61,18 +83,25 @@ class LexminResult:
         return self.assignment[name]
 
 
-def pick_backend(model: ILPModel, backend: str, auto_threshold: int = AUTO_THRESHOLD):
+def pick_backend(
+    model: ILPModel,
+    backend: str,
+    auto_threshold: int = AUTO_THRESHOLD,
+    auto_constraint_threshold: int = AUTO_CONSTRAINT_THRESHOLD,
+):
     """Resolve a backend name to (callable, resolved-name).
 
     ``"auto"`` mirrors the paper's solver split (PIP for ordinary models,
     GLPK for large ones, e.g. swim's 219 variables): the exact backend is
-    used for small models, HiGHS beyond ``auto_threshold`` variables or
-    :data:`AUTO_CONSTRAINT_THRESHOLD` constraints.
+    used for small models, HiGHS beyond ``auto_threshold`` variables **or**
+    ``auto_constraint_threshold`` constraints — the exact simplex cost grows
+    with the row count as much as with the column count, so both axes gate
+    the switch.
     """
     if backend == "auto":
         small = (
             model.num_variables <= auto_threshold
-            and model.num_constraints <= AUTO_CONSTRAINT_THRESHOLD
+            and model.num_constraints <= auto_constraint_threshold
         )
         backend = "exact" if small else "highs"
     try:
@@ -81,29 +110,73 @@ def pick_backend(model: ILPModel, backend: str, auto_threshold: int = AUTO_THRES
         raise ValueError(f"unknown ILP backend {backend!r}") from None
 
 
+def _probe_lower_bounds(
+    model: ILPModel,
+    current: Mapping[str, Fraction],
+    remaining: Sequence[str],
+) -> Optional[dict[str, Fraction]]:
+    """The feasible-assignment probe: set every remaining objective variable
+    to its lower bound at once and keep everything else from ``current``.
+
+    If that assignment satisfies the model, each remaining variable is at its
+    global minimum given the fixings (the probe witnesses feasibility of all
+    the lower bounds simultaneously), so the lexmin tail is decided without
+    issuing another solve.  Returns the witness, or ``None``.
+    """
+    probe = dict(current)
+    changed = False
+    for name in remaining:
+        var = model.variables[name]
+        if var.lower is None:
+            return None
+        lo = Fraction(var.lower)
+        if probe[name] != lo:
+            probe[name] = lo
+            changed = True
+    if not changed:
+        return None  # the per-variable shortcut already covers this
+    return probe if model.check(probe) else None
+
+
 def lexmin(
     model: ILPModel,
     backend: str = "auto",
     auto_threshold: int = AUTO_THRESHOLD,
     node_limit: int = 20000,
+    warm_start: bool = True,
 ) -> LexminResult:
     """Lexicographically minimize ``model.objective_order`` over the model.
 
     Returns the optimal assignment (covering *all* model variables) or an
     infeasible/unbounded status.  Variables outside the objective order take
-    whatever value the final solve produced.
+    whatever value the final solve produced.  ``warm_start=False`` forces the
+    seed's cold-start sequence on the exact backend (used by the equivalence
+    tests and the solver baseline bench).
     """
     if not model.objective_order:
         raise ValueError("model has no objective order set")
     solve, backend_name = pick_backend(model, backend, auto_threshold)
+    if backend_name == "exact" and warm_start and not legacy_exact_mode():
+        return _lexmin_exact_warm(model, node_limit)
+    return _lexmin_cold(model, solve, backend_name, node_limit)
 
+
+def _lexmin_cold(
+    model: ILPModel, solve: Backend, backend_name: str, node_limit: int
+) -> LexminResult:
+    """One cold solve per objective (any backend); still applies the
+    at-lower-bound shortcut and, unless in legacy mode, the probe."""
     stats = SolveStats()
+    use_probe = not legacy_exact_mode()
     fixings: list[LinearConstraint] = []
     values: list[Fraction] = []
     current: Optional[dict[str, Fraction]] = None
     solves = 0
 
-    for name in model.objective_order:
+    order = model.objective_order
+    k = 0
+    while k < len(order):
+        name = order[k]
         var = model.variables[name]
         if (
             current is not None
@@ -112,7 +185,17 @@ def lexmin(
         ):
             # Already at its lower bound in a feasible assignment: optimal.
             value = Fraction(var.lower)
+            stats.shortcut_hits += 1
         else:
+            if use_probe and current is not None:
+                probe = _probe_lower_bounds(model, current, order[k:])
+                if probe is not None:
+                    stats.probe_hits += 1
+                    current = probe
+                    values.extend(
+                        Fraction(model.variables[n].lower) for n in order[k:]
+                    )
+                    break
             result = solve(model, {name: 1}, extra=tuple(fixings), node_limit=node_limit)
             solves += 1
             stats.merge(result.stats)
@@ -126,12 +209,13 @@ def lexmin(
         fixings.append(
             LinearConstraint({name: 1}, -value, equality=True, label=f"fix:{name}")
         )
+        k += 1
 
     assert current is not None
     # Re-pin the recorded values (the last solve may predate later implicit
     # lower-bound fixings, but those were taken *from* ``current`` so it is
     # consistent by construction).
-    for name, value in zip(model.objective_order, values):
+    for name, value in zip(order, values):
         current[name] = value
     return LexminResult(
         ILPStatus.OPTIMAL,
@@ -140,4 +224,74 @@ def lexmin(
         stats,
         solves,
         backend_name,
+    )
+
+
+def _lexmin_exact_warm(model: ILPModel, node_limit: int) -> LexminResult:
+    """The exact backend's fast path: one persistent tableau, warm phase 2
+    per objective, warm branch-and-bound when a relaxation is fractional."""
+    stats = SolveStats()
+    inc = IncrementalLP(model)
+    stats.lp_solves += 1  # the shared phase 1
+    stats.simplex_pivots += inc.pivots
+    if not inc.is_feasible:
+        return LexminResult(
+            ILPStatus.INFEASIBLE, stats=stats, solves=1, backend="exact"
+        )
+
+    values: list[Fraction] = []
+    current: Optional[dict[str, Fraction]] = None
+    solves = 0
+    order = model.objective_order
+    k = 0
+    while k < len(order):
+        name = order[k]
+        var = model.variables[name]
+        if (
+            current is not None
+            and var.lower is not None
+            and current[name] == var.lower
+        ):
+            value = Fraction(var.lower)
+            stats.shortcut_hits += 1
+        else:
+            if current is not None:
+                probe = _probe_lower_bounds(model, current, order[k:])
+                if probe is not None:
+                    stats.probe_hits += 1
+                    current = probe
+                    values.extend(
+                        Fraction(model.variables[n].lower) for n in order[k:]
+                    )
+                    break
+            result, at_root = solve_ilp_warm(inc, model, {name: 1}, node_limit)
+            solves += 1
+            stats.merge(result.stats)
+            if at_root:
+                stats.warm_starts += 1
+            if not result.is_optimal:
+                return LexminResult(
+                    result.status, stats=stats, solves=solves, backend="exact"
+                )
+            value = result.objective
+            current = result.assignment
+        before = inc.pivots
+        if not inc.fix(name, value):  # pragma: no cover - value is feasible
+            return LexminResult(
+                ILPStatus.INFEASIBLE, stats=stats, solves=solves, backend="exact"
+            )
+        stats.simplex_pivots += inc.pivots - before
+        values.append(value)
+        k += 1
+
+    assert current is not None
+    for name, value in zip(order, values):
+        current[name] = value
+    return LexminResult(
+        ILPStatus.OPTIMAL,
+        dict(current),
+        values,
+        stats,
+        solves,
+        backend="exact",
     )

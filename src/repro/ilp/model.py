@@ -9,13 +9,31 @@ paper eq. (4)/(8)).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from fractions import Fraction
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["Variable", "LinearConstraint", "ILPModel", "SolveStats", "INF"]
+__all__ = [
+    "Variable",
+    "LinearConstraint",
+    "ILPModel",
+    "SolveStats",
+    "INF",
+    "legacy_exact_mode",
+]
 
 INF = float("inf")
+
+
+def legacy_exact_mode() -> bool:
+    """Whether ``REPRO_EXACT_LEGACY=1`` asks for seed-equivalent solving.
+
+    Selects the dense Fraction tableau, disables lexmin warm starts and the
+    scheduler's model-skeleton reuse/row normalization — the configuration
+    :mod:`benchmarks.solver_baseline` measures the fast path against.
+    """
+    return os.environ.get("REPRO_EXACT_LEGACY", "") not in ("", "0")
 
 
 @dataclass(frozen=True)
@@ -105,6 +123,16 @@ class ILPModel:
             raise KeyError(f"objective references unknown variables {missing}")
         self.objective_order = list(names)
 
+    def clone(self) -> "ILPModel":
+        """Shallow copy (variables/constraints are immutable, so sharing them
+        is safe); used by the scheduler to extend a cached band skeleton with
+        per-level rows without rebuilding the Farkas system."""
+        out = ILPModel()
+        out.variables = dict(self.variables)
+        out.constraints = list(self.constraints)
+        out.objective_order = list(self.objective_order)
+        return out
+
     # -- inspection ----------------------------------------------------------
 
     @property
@@ -139,13 +167,46 @@ class ILPModel:
 
 @dataclass
 class SolveStats:
-    """Counters reported by solver backends (used by the ablation benches)."""
+    """Counters reported by the solver stack (``--stats``, ablation benches).
+
+    ``simplex_pivots``/``bb_nodes``/``lp_solves`` come from the backends;
+    ``warm_starts``/``shortcut_hits``/``probe_hits`` from the lexmin driver
+    (objectives resolved from a warm tableau, the at-lower-bound shortcut,
+    and the all-remaining-at-lower-bounds feasibility probe); ``dedup_rows``/
+    ``models_reused`` from the scheduler's model construction; and
+    ``solve_seconds`` is wall time spent inside ILP solves.
+    """
 
     simplex_pivots: int = 0
     bb_nodes: int = 0
     lp_solves: int = 0
+    warm_starts: int = 0
+    shortcut_hits: int = 0
+    probe_hits: int = 0
+    dedup_rows: int = 0
+    models_reused: int = 0
+    solve_seconds: float = 0.0
 
     def merge(self, other: "SolveStats") -> None:
         self.simplex_pivots += other.simplex_pivots
         self.bb_nodes += other.bb_nodes
         self.lp_solves += other.lp_solves
+        self.warm_starts += other.warm_starts
+        self.shortcut_hits += other.shortcut_hits
+        self.probe_hits += other.probe_hits
+        self.dedup_rows += other.dedup_rows
+        self.models_reused += other.models_reused
+        self.solve_seconds += other.solve_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "simplex_pivots": self.simplex_pivots,
+            "bb_nodes": self.bb_nodes,
+            "lp_solves": self.lp_solves,
+            "warm_starts": self.warm_starts,
+            "shortcut_hits": self.shortcut_hits,
+            "probe_hits": self.probe_hits,
+            "dedup_rows": self.dedup_rows,
+            "models_reused": self.models_reused,
+            "solve_seconds": self.solve_seconds,
+        }

@@ -5,6 +5,7 @@ from repro.polyhedra.constraints import Constraint, eq, ineq
 from repro.polyhedra.fourier_motzkin import (
     eliminate_column,
     eliminate_columns,
+    normalize_row,
     normalize_rows,
 )
 from repro.polyhedra.maps import AffineMap
@@ -21,5 +22,6 @@ __all__ = [
     "eliminate_columns",
     "eq",
     "ineq",
+    "normalize_row",
     "normalize_rows",
 ]

@@ -19,7 +19,13 @@ from __future__ import annotations
 from math import gcd
 from typing import Iterable, Sequence
 
-__all__ = ["eliminate_column", "eliminate_columns", "normalize_rows", "Row"]
+__all__ = [
+    "eliminate_column",
+    "eliminate_columns",
+    "normalize_row",
+    "normalize_rows",
+    "Row",
+]
 
 Row = tuple[tuple[int, ...], bool]  # (coefficients with constant last, equality?)
 
@@ -35,25 +41,33 @@ def _gcd_normalize(coeffs: Sequence[int], equality: bool) -> tuple[int, ...]:
     return tuple(c // g for c in coeffs[:-1]) + (coeffs[-1] // g,)
 
 
+def normalize_row(row: Row) -> Row | None:
+    """GCD-normalize one row; ``None`` when it is trivially satisfied.
+
+    Constant rows survive only as contradictions (emptiness witnesses) —
+    the same policy :func:`normalize_rows` applies per row.  Used directly
+    by the scheduler's constraint dedup, where rows arrive one at a time.
+    """
+    coeffs, equality = row
+    norm = _gcd_normalize(coeffs, equality)
+    if all(c == 0 for c in norm[:-1]):
+        c = norm[-1]
+        if (equality and c != 0) or (not equality and c < 0):
+            return (norm, equality)
+        return None
+    return (norm, equality)
+
+
 def normalize_rows(rows: Iterable[Row]) -> list[Row]:
     """GCD-normalize, drop trivial rows, and de-duplicate (order-preserving)."""
     seen: set[tuple[tuple[int, ...], bool]] = set()
     out: list[Row] = []
-    for coeffs, equality in rows:
-        norm = _gcd_normalize(coeffs, equality)
-        if all(c == 0 for c in norm[:-1]):
-            # constant row: keep only contradictions (emptiness witnesses)
-            c = norm[-1]
-            if (equality and c != 0) or (not equality and c < 0):
-                key = (norm, equality)
-                if key not in seen:
-                    seen.add(key)
-                    out.append((norm, equality))
+    for row in rows:
+        norm = normalize_row(row)
+        if norm is None or norm in seen:
             continue
-        key = (norm, equality)
-        if key not in seen:
-            seen.add(key)
-            out.append((norm, equality))
+        seen.add(norm)
+        out.append(norm)
     return _prune_subsumed(out)
 
 

@@ -11,7 +11,13 @@ from __future__ import annotations
 import math
 from typing import Mapping, Optional, Sequence
 
-__all__ = ["geomean", "format_table", "normalized_breakdown", "ascii_series"]
+__all__ = [
+    "geomean",
+    "format_table",
+    "format_solve_stats",
+    "normalized_breakdown",
+    "ascii_series",
+]
 
 
 def geomean(values: Sequence[float]) -> float:
@@ -44,6 +50,25 @@ def format_table(
     for row in text_rows:
         out.append(indent + "  ".join(c.rjust(w) for c, w in zip(row, widths)))
     return "\n".join(out)
+
+
+def format_solve_stats(stats: Mapping[str, float], indent: str = "  ") -> str:
+    """Render solver counters (``SolveStats.as_dict()``) as an aligned block.
+
+    Seconds are printed with millisecond precision, counters as integers;
+    zero-valued counters are kept so runs are comparable line-by-line.
+    """
+    rows = []
+    for key, value in stats.items():
+        if isinstance(value, float) and not float(value).is_integer():
+            shown = f"{value:.3f}"
+        elif isinstance(value, float):
+            shown = f"{value:.3f}" if key.endswith("seconds") else str(int(value))
+        else:
+            shown = str(value)
+        rows.append((key, shown))
+    width = max(len(k) for k, _ in rows) if rows else 0
+    return "\n".join(f"{indent}{k.ljust(width)}  {v}" for k, v in rows)
 
 
 def normalized_breakdown(parts: Mapping[str, float]) -> dict[str, float]:

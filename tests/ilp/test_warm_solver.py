@@ -1,0 +1,193 @@
+"""Warm-start equivalence, engine agreement, and auto-threshold tests.
+
+Three concerns around the exact solver's fast path:
+
+* ``pick_backend("auto")`` must gate on *both* the variable and the
+  constraint count (the simplex cost grows with the row count too);
+* the integer-scaled tableau must agree with the seed's dense ``Fraction``
+  reference engine on random feasible LPs (property test);
+* the warm-started lexmin sequence must produce the same lexicographic
+  optimum as the seed's cold sequence on every Polybench and periodic
+  scheduler model.  Cold exact re-runs phase 1 per objective, which is
+  minutes on the larger models — exactly why ``auto`` routes those to
+  HiGHS — so the warm/cold comparison runs where cold exact is tractable
+  and the rest assert the auto routing that shields them.
+"""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheduler import PlutoScheduler
+from repro.core.transform import Schedule
+from repro.deps import DependenceGraph, compute_dependences
+from repro.ilp import (
+    AUTO_CONSTRAINT_THRESHOLD,
+    AUTO_THRESHOLD,
+    ILPModel,
+    IncrementalLP,
+    lexmin,
+    pick_backend,
+    solve_lp,
+)
+from repro.workloads import all_workloads
+
+#: cold exact lexmin stays under a few seconds below this many constraints
+_COLD_EXACT_LIMIT = 75
+
+
+def _model_with(nvars: int, ncons: int) -> ILPModel:
+    m = ILPModel()
+    for i in range(nvars):
+        m.add_variable(f"x{i}", lower=0, upper=3)
+    for _ in range(ncons):
+        m.add_constraint({"x0": 1}, 0)
+    m.set_objective_order(["x0"])
+    return m
+
+
+class TestAutoThresholds:
+    def test_variable_threshold(self):
+        m = _model_with(5, 2)
+        kw = dict(auto_threshold=5, auto_constraint_threshold=100)
+        assert pick_backend(m, "auto", **kw)[1] == "exact"
+        assert pick_backend(_model_with(6, 2), "auto", **kw)[1] == "highs"
+
+    def test_constraint_threshold(self):
+        kw = dict(auto_threshold=100, auto_constraint_threshold=4)
+        assert pick_backend(_model_with(3, 4), "auto", **kw)[1] == "exact"
+        assert pick_backend(_model_with(3, 5), "auto", **kw)[1] == "highs"
+
+    def test_default_thresholds(self):
+        small = _model_with(3, 2)
+        assert pick_backend(small, "auto")[1] == "exact"
+        wide = _model_with(AUTO_THRESHOLD + 1, 2)
+        assert pick_backend(wide, "auto")[1] == "highs"
+        tall = _model_with(3, AUTO_CONSTRAINT_THRESHOLD + 1)
+        assert pick_backend(tall, "auto")[1] == "highs"
+
+    def test_explicit_backend_ignores_size(self):
+        wide = _model_with(AUTO_THRESHOLD + 1, 2)
+        assert pick_backend(wide, "exact")[1] == "exact"
+        assert pick_backend(_model_with(2, 1), "highs")[1] == "highs"
+
+
+# ---------------------------------------------------------------------------
+# Integer-scaled engine vs the seed's Fraction reference engine
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def random_lp(draw):
+    """Random bounded LPs, feasible by construction (anchored on a witness)."""
+    nvars = draw(st.integers(1, 4))
+    m = ILPModel()
+    names = []
+    for i in range(nvars):
+        lo = draw(st.integers(-3, 0))
+        hi = draw(st.integers(1, 4))
+        name = f"v{i}"
+        m.add_variable(name, lower=lo, upper=hi)
+        names.append(name)
+    witness = {
+        n: draw(st.integers(m.variables[n].lower, m.variables[n].upper))
+        for n in names
+    }
+    for _ in range(draw(st.integers(0, 4))):
+        coeffs = {
+            n: draw(st.integers(-3, 3)) for n in names if draw(st.booleans())
+        }
+        coeffs = {n: c for n, c in coeffs.items() if c}
+        if not coeffs:
+            continue
+        val = sum(c * witness[n] for n, c in coeffs.items())
+        equality = draw(st.booleans())
+        m.add_constraint(coeffs, -val, equality=equality)  # holds at witness
+    objective = {n: draw(st.integers(-2, 2)) for n in names}
+    return m, objective
+
+
+class TestEngineAgreement:
+    @given(random_lp())
+    @settings(max_examples=60, deadline=None)
+    def test_int_engine_matches_fraction_engine(self, case):
+        model, objective = case
+        fast = solve_lp(model, objective, engine="int")
+        ref = solve_lp(model, objective, engine="fraction")
+        assert fast.status == ref.status
+        if ref.is_optimal:
+            # the optimal *value* is unique even when the vertex is not
+            assert fast.objective == ref.objective
+
+    @given(random_lp())
+    @settings(max_examples=40, deadline=None)
+    def test_incremental_minimize_matches_fraction(self, case):
+        model, objective = case
+        inc = IncrementalLP(model)
+        assert inc.is_feasible  # witness-anchored
+        res = inc.minimize(objective)
+        ref = solve_lp(model, objective, engine="fraction")
+        assert res.status == ref.status
+        if ref.is_optimal:
+            # the relaxation may sit on a fractional vertex, so only the
+            # optimal value (unique) is compared, not the assignment
+            assert res.objective == ref.objective
+
+    @given(random_lp())
+    @settings(max_examples=30, deadline=None)
+    def test_snapshot_restore_roundtrip(self, case):
+        model, objective = case
+        inc = IncrementalLP(model)
+        snap = inc.snapshot()
+        before = inc.minimize(objective)
+        first = model.var_names()[0]
+        inc.fix(first, before.assignment[first])
+        inc.restore(snap)
+        after = inc.minimize(objective)
+        assert after.status == before.status
+        if before.is_optimal:
+            assert after.objective == before.objective
+
+
+# ---------------------------------------------------------------------------
+# Warm vs cold lexmin on every Polybench / periodic scheduler model
+# ---------------------------------------------------------------------------
+
+
+def _level0_model(workload) -> ILPModel:
+    program = workload.program()
+    ddg = DependenceGraph(program, compute_dependences(program))
+    scheduler = PlutoScheduler(
+        program, ddg, workload.pipeline_options("plutoplus").scheduler_options()
+    )
+    return scheduler.build_model(Schedule(program), list(ddg.deps))
+
+
+_WORKLOADS = [
+    w for w in all_workloads() if w.category in ("polybench", "periodic")
+]
+
+
+@pytest.mark.parametrize("workload", _WORKLOADS, ids=lambda w: w.name)
+def test_warm_vs_cold_lexmin(workload):
+    model = _level0_model(workload)
+    small = (
+        model.num_variables <= AUTO_THRESHOLD
+        and model.num_constraints <= _COLD_EXACT_LIMIT
+    )
+    if not small:
+        # Outside the exact envelope ``auto`` must route to HiGHS — the warm
+        # path is never taken for this model, which is the property that
+        # keeps the pipeline fast here.
+        assert pick_backend(model, "auto")[1] == "highs"
+        return
+    warm = lexmin(model, backend="exact")
+    cold = lexmin(model, backend="exact", warm_start=False)
+    assert warm.is_optimal and cold.is_optimal
+    assert warm.values == cold.values
+    for name in model.objective_order:
+        assert warm.assignment[name] == cold.assignment[name]
+    assert model.check(warm.assignment)
+    assert model.check(cold.assignment)

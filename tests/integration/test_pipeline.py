@@ -52,12 +52,14 @@ class TestPipeline:
         text = res.summary()
         assert "p [plutoplus]" in text and "timing" in text
 
-    def test_scheduler_stats_absent_for_diamond(self):
+    def test_scheduler_stats_cover_diamond(self):
         w = get_workload("heat-1dp")
         res = optimize(w.program(), w.pipeline_options("plutoplus"))
         assert res.used_diamond
-        # diamond path bypasses the standard scheduler loop
-        assert res.scheduler_stats is None
+        # the diamond path's internal scheduler reports into the shared stats
+        assert res.scheduler_stats is not None
+        assert res.scheduler_stats.ilp_solves > 0
+        assert res.timing.ilp_solve > 0
 
 
 class TestCEmitter:
