@@ -1,0 +1,155 @@
+"""Dependence-analysis baseline: fast-path speedup over the seed analysis.
+
+Runs dependence analysis on the periodic stencil suite twice per workload —
+once with the fast path (content-addressed memoization of polyhedral
+primitives, fast-reject emptiness proofs, hoisted incremental construction)
+and once under ``cache_disabled()`` (the seed's behavior, also reachable via
+``REPRO_DEPS_NO_CACHE=1`` / ``--no-deps-cache``) — verifies the two produce
+**identical dependence relations**, and writes ``BENCH_deps.json`` with
+per-workload analysis times and the geometric means.
+
+Each workload is measured end-to-end over the analysis the pipeline actually
+performs: dependences on the input program, index-set splitting, and
+re-analysis of the split program (the expensive part — ISS multiplies the
+statement count).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/deps_baseline.py [-o BENCH_deps.json]
+
+Exits non-zero if any dependence relation differs or the geomean speedup
+is < 3x.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro.core.iss import index_set_split
+from repro.deps import DepStats, compute_dependences
+from repro.polyhedra.cache import cache_disabled, global_cache
+from repro.reporting import format_table, geomean
+from repro.workloads import get_workload
+
+#: The paper's periodic suite (heat-*dp, lbm-*, swim) — ISS + diamond
+#: territory, where dependence analysis dominates the pipeline.
+WORKLOADS = [
+    "heat-1dp",
+    "heat-2dp",
+    "heat-3dp",
+    "lbm-ldc-d2q9",
+    "lbm-ldc-d2q9-mrt",
+    "lbm-fpc-d2q9",
+    "lbm-poi-d2q9",
+    "lbm-ldc-d3q27",
+    "swim",
+]
+
+_QUICK = ["heat-1dp", "heat-2dp", "lbm-ldc-d2q9", "swim"]
+
+
+def _signature(deps):
+    """Order-preserving content fingerprint of a dependence list."""
+    return [
+        (
+            d.kind,
+            d.source.name,
+            d.target.name,
+            d.array,
+            frozenset((c.coeffs, c.equality) for c in d.polyhedron.constraints),
+        )
+        for d in deps
+    ]
+
+
+def _analyze(program):
+    """The analysis work the pipeline performs for an ISS workload."""
+    stats = DepStats()
+    deps_pre = compute_dependences(program, stats)
+    work, used_iss = index_set_split(program, deps_pre)
+    deps_post = compute_dependences(work, stats) if used_iss else deps_pre
+    return stats, _signature(deps_pre) + _signature(deps_post)
+
+
+def _run(name: str, cached: bool):
+    program = get_workload(name).program()
+    if cached:
+        global_cache().clear()  # no cross-workload carry-over in the bench
+        return _analyze(program)
+    with cache_disabled():
+        return _analyze(program)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_deps.json")
+    args = parser.parse_args(argv)
+
+    names = _QUICK if os.environ.get("REPRO_BENCH_SCALE") == "quick" else WORKLOADS
+    entries = []
+    mismatches = []
+    for name in names:
+        fast_stats, fast_sig = _run(name, cached=True)
+        seed_stats, seed_sig = _run(name, cached=False)
+        if fast_sig != seed_sig:
+            mismatches.append(name)
+        t_fast = fast_stats.analysis_seconds
+        t_seed = seed_stats.analysis_seconds
+        entries.append(
+            {
+                "workload": name,
+                "deps_seconds": t_fast,
+                "deps_seconds_seed": t_seed,
+                "speedup": t_seed / t_fast if t_fast > 0 else float("inf"),
+                "relations_identical": name not in mismatches,
+                "deps": fast_stats.as_dict(),
+            }
+        )
+        print(
+            f"{name}: seed {t_seed:.3f}s -> {t_fast:.3f}s "
+            f"({t_seed / t_fast:.1f}x)"
+            f"{' MISMATCH' if name in mismatches else ''}",
+            flush=True,
+        )
+
+    g_fast = geomean([e["deps_seconds"] for e in entries])
+    g_seed = geomean([e["deps_seconds_seed"] for e in entries])
+    g_speedup = geomean([e["speedup"] for e in entries])
+    report = {
+        "suite": "periodic",
+        "workloads": entries,
+        "geomean_deps_seconds": g_fast,
+        "geomean_deps_seconds_seed": g_seed,
+        "geomean_speedup": g_speedup,
+        "relations_identical": not mismatches,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print("\nDependence-analysis time, pre-ISS + post-ISS (seconds)")
+    print(
+        format_table(
+            ["workload", "seed", "new", "speedup"],
+            [
+                [e["workload"], e["deps_seconds_seed"], e["deps_seconds"], e["speedup"]]
+                for e in entries
+            ],
+        )
+    )
+    print(f"  geomean: seed {g_seed:.3f}s, new {g_fast:.3f}s, speedup {g_speedup:.1f}x")
+    print(f"  wrote {args.output}")
+
+    if mismatches:
+        print(f"FAIL: relation mismatch on {', '.join(mismatches)}", file=sys.stderr)
+        return 1
+    if g_speedup < 3.0:
+        print(f"FAIL: geomean speedup {g_speedup:.2f}x < 3x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

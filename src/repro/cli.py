@@ -38,12 +38,18 @@ def build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     def add_input_args(p):
-        p.add_argument("source", nargs="?", help="C-like loop nest file")
+        p.add_argument("source", nargs="?",
+                       help="C-like loop nest file or registered workload name")
         p.add_argument("--workload", help="registered workload name instead of a file")
         p.add_argument("--params", nargs="*", default=[], help="program parameters")
         p.add_argument(
             "--param-min", type=int, default=2,
             help="context lower bound on every parameter (default 2)",
+        )
+        p.add_argument(
+            "--no-deps-cache", action="store_true",
+            help="disable the dependence-analysis fast path (memoized "
+                 "polyhedral primitives and fast-reject)",
         )
 
     opt = sub.add_parser("opt", help="optimize a loop nest")
@@ -81,21 +87,42 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _workload_program(args, name: str) -> Program:
+    from repro.workloads import get_workload
+
+    try:
+        w = get_workload(name)
+    except KeyError:
+        raise SystemExit(
+            f"error: unknown workload {name!r}; "
+            f"run `python -m repro list` to see registered workloads"
+        ) from None
+    # carry the workload's pipeline flags unless the user set their own
+    if hasattr(args, "iss") and not args.iss:
+        args.iss = w.iss
+    if hasattr(args, "diamond") and not args.diamond:
+        args.diamond = w.diamond
+    return w.program()
+
+
 def _load_program(args) -> Program:
     if args.workload:
-        from repro.workloads import get_workload
-
-        w = get_workload(args.workload)
-        # carry the workload's pipeline flags unless the user set their own
-        if hasattr(args, "iss") and not args.iss:
-            args.iss = w.iss
-        if hasattr(args, "diamond") and not args.diamond:
-            args.diamond = w.diamond
-        return w.program()
+        return _workload_program(args, args.workload)
     if not args.source:
         raise SystemExit("either a source file or --workload is required")
-    text = Path(args.source).read_text()
-    name = Path(args.source).stem
+    path = Path(args.source)
+    if not path.is_file():
+        from repro.workloads import WORKLOADS  # import populates the registry
+
+        if args.source in WORKLOADS:
+            return _workload_program(args, args.source)
+        raise SystemExit(
+            f"error: {args.source!r} is neither a readable file nor a "
+            f"registered workload; run `python -m repro list` to see "
+            f"registered workloads"
+        )
+    text = path.read_text()
+    name = path.stem
     return parse_program(text, name, params=tuple(args.params), param_min=args.param_min)
 
 
@@ -111,6 +138,7 @@ def _pipeline_options(args) -> PipelineOptions:
         fuse=getattr(args, "fuse", "smart"),
         l2tile=getattr(args, "l2tile", False),
         intra_tile=getattr(args, "intra_tile", False),
+        deps_cache=not getattr(args, "no_deps_cache", False),
     )
 
 
@@ -121,12 +149,16 @@ def _cmd_opt(args) -> int:
     print(f"# ISS: {result.used_iss}, diamond: {result.used_diamond}", file=sys.stderr)
     print(f"# timing: {result.timing.as_dict()}", file=sys.stderr)
     if getattr(args, "stats", False) and result.scheduler_stats is not None:
-        from repro.reporting import format_solve_stats
+        from repro.reporting import format_dep_stats, format_solve_stats
 
         st = result.scheduler_stats
         print(f"# solver stats ({', '.join(sorted(st.backends_used)) or 'n/a'}):",
               file=sys.stderr)
         print(format_solve_stats(st.solve.as_dict(), indent="#   "), file=sys.stderr)
+        if result.dep_stats is not None:
+            print("# dependence stats:", file=sys.stderr)
+            print(format_dep_stats(result.dep_stats.as_dict(), indent="#   "),
+                  file=sys.stderr)
     if args.emit == "schedule":
         out = result.schedule.pretty() + "\n"
     elif args.emit == "py":
@@ -164,10 +196,15 @@ def _pipeline_options_noemit(args) -> PipelineOptions:
 
 
 def _cmd_deps(args) -> int:
+    from contextlib import nullcontext
+
     from repro.deps import compute_dependences
+    from repro.polyhedra.cache import cache_disabled
 
     program = _load_program(args)
-    deps = compute_dependences(program)
+    guard = cache_disabled() if getattr(args, "no_deps_cache", False) else nullcontext()
+    with guard:
+        deps = compute_dependences(program)
     print(f"{len(deps)} dependences:")
     for d in deps:
         vec = d.distance_vector()

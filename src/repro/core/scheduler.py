@@ -104,6 +104,9 @@ class SchedulerStats:
     ilp_variables_max: int = 0
     hyperplanes_found: int = 0
     cuts: int = 0
+    #: satisfaction queries answered by batching (identical remaining
+    #: polyhedron + distance expression shared with another dependence)
+    sat_batched: int = 0
     solve_seconds: float = 0.0
     backends_used: set = field(default_factory=set)
     #: aggregated solver counters (pivots, B&B nodes, warm-start hits,
@@ -409,8 +412,13 @@ class PlutoScheduler:
         A dependence is satisfied once every not-yet-ordered instance pair
         has distance >= 1 at this level; pairs with distance exactly 0 remain
         in the dependence's *remaining* polyhedron for deeper levels.
+
+        Dependences sharing an identical ``(remaining polyhedron, distance
+        expression)`` pair — e.g. the per-array copies of one stencil pattern
+        in LBM — are batched: the minimum is computed once per group.
         """
         row = sched.rows[level]
+        groups: dict[tuple, list] = {}
         for dep in self.ddg.deps:
             if dep.is_satisfied:
                 continue
@@ -418,20 +426,27 @@ class PlutoScheduler:
             expr = dep.distance_expr(
                 row.expr_for(dep.source), row.expr_for(dep.target)
             )
-            mn = remaining.min_of(expr)
-            if mn is None:  # remaining part already empty: fully ordered
-                dep.satisfaction_level = level
-                continue
-            if mn >= 1:
-                dep.satisfaction_level = level
-                continue
-            # Keep only the instance pairs this level fails to order.  For
-            # active deps legality guarantees expr >= 0, so that is expr == 0;
-            # for retired deps the distance may be negative — those pairs were
-            # already ordered by an earlier level of a previous band.
-            zero = remaining.copy()
-            zero.add(Constraint(expr, equality=True))
-            self._remaining[id(dep)] = zero
+            key = (remaining.content_key(), expr.coeffs)
+            groups.setdefault(key, []).append((dep, remaining, expr))
+        for members in groups.values():
+            _, rem0, expr0 = members[0]
+            mn = rem0.min_of(expr0)
+            self.stats.sat_batched += len(members) - 1
+            for dep, remaining, expr in members:
+                if mn is None:  # remaining part already empty: fully ordered
+                    dep.satisfaction_level = level
+                    continue
+                if mn >= 1:
+                    dep.satisfaction_level = level
+                    continue
+                # Keep only the instance pairs this level fails to order.
+                # For active deps legality guarantees expr >= 0, so that is
+                # expr == 0; for retired deps the distance may be negative —
+                # those pairs were already ordered by an earlier level of a
+                # previous band.
+                zero = remaining.copy()
+                zero.add(Constraint(expr, equality=True))
+                self._remaining[id(dep)] = zero
 
     def _cut_dim_based(self, sched: Schedule) -> bool:
         """Pluto's smartfuse opening move: order SCCs whose statements have

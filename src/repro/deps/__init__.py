@@ -1,9 +1,15 @@
 """Dependence analysis: polyhedral RAW/WAR/WAW edges and the DDG."""
 
-from repro.deps.analysis import Dependence, compute_dependences, product_space
+from repro.deps.analysis import (
+    Dependence,
+    DepStats,
+    compute_dependences,
+    product_space,
+)
 from repro.deps.ddg import DependenceGraph
 
 __all__ = [
+    "DepStats",
     "Dependence",
     "DependenceGraph",
     "compute_dependences",

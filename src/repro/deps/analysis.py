@@ -15,17 +15,65 @@ choices match; DESIGN.md records this substitution.
 from __future__ import annotations
 
 import itertools
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from repro.frontend.ir import Access, Program, Statement
 from repro.polyhedra import AffExpr, BasicSet, Constraint, Space
+from repro.polyhedra.cache import global_cache
 from repro.polyhedra.fastcheck import set_is_empty
 
-__all__ = ["Dependence", "compute_dependences", "product_space"]
+__all__ = ["DepStats", "Dependence", "compute_dependences", "product_space"]
 
 SRC_SUFFIX = "__s"
 TGT_SUFFIX = "__t"
+
+
+@dataclass
+class DepStats:
+    """Fast-path counters for dependence analysis (the ``SolveStats`` twin).
+
+    ``pairs_tested`` counts candidate dependence polyhedra (access pair ×
+    happens-before case); ``fast_rejects`` those proven empty by the cheap
+    bound/gcd pre-filter alone; ``cache_hits``/``cache_misses`` the memoized
+    polyhedral primitive lookups (emptiness, minima, lexmin, projections)
+    issued while this record was attached; ``fm_saved`` the Fourier–Motzkin
+    projection cascades answered from cache; ``analysis_seconds`` wall time
+    inside :func:`compute_dependences`.
+    """
+
+    pairs_tested: int = 0
+    deps_found: int = 0
+    fast_rejects: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    fm_saved: int = 0
+    analysis_seconds: float = 0.0
+
+    @property
+    def lookups(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def merge(self, other: "DepStats") -> None:
+        self.pairs_tested += other.pairs_tested
+        self.deps_found += other.deps_found
+        self.fast_rejects += other.fast_rejects
+        self.cache_hits += other.cache_hits
+        self.cache_misses += other.cache_misses
+        self.fm_saved += other.fm_saved
+        self.analysis_seconds += other.analysis_seconds
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "pairs_tested": self.pairs_tested,
+            "deps_found": self.deps_found,
+            "fast_rejects": self.fast_rejects,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "fm_saved": self.fm_saved,
+            "analysis_seconds": self.analysis_seconds,
+        }
 
 
 @dataclass
@@ -181,6 +229,13 @@ def _dependence_polyhedron(
     src_rename,
     tgt_rename,
 ) -> BasicSet:
+    """One candidate polyhedron, built from scratch (reference path).
+
+    :func:`compute_dependences` builds the same conjunctions incrementally
+    (domains hoisted per statement pair, conflict equalities per access
+    pair); this standalone builder is kept as the executable specification
+    the incremental construction is tested against.
+    """
     poly = BasicSet(space)
     for con in src.domain.constraints:
         poly.add(con.rebase(space, src_rename))
@@ -207,9 +262,23 @@ def _dependence_polyhedron(
     return poly
 
 
-def compute_dependences(program: Program) -> list[Dependence]:
-    """All memory-based RAW/WAR/WAW dependences of ``program``."""
+def compute_dependences(
+    program: Program, stats: Optional[DepStats] = None
+) -> list[Dependence]:
+    """All memory-based RAW/WAR/WAW dependences of ``program``.
+
+    The per-candidate polyhedra share most of their rows (statement domains,
+    the parameter context), so those are rebased once per statement pair and
+    the access-pair / happens-before-case specifics are layered on copies —
+    the construction-side half of the fast path, the query side being
+    :func:`~repro.polyhedra.fastcheck.set_is_empty`'s fast-reject and memo.
+    ``stats``, when given, accumulates :class:`DepStats` counters.
+    """
+    t_start = time.perf_counter()
+    cache_stats = global_cache().stats
+    base_snapshot = cache_stats.snapshot()
     deps: list[Dependence] = []
+    pairs_tested = 0
     for src, tgt in itertools.product(program.statements, repeat=2):
         space, src_rename, tgt_rename = product_space(src, tgt)
         cases = list(
@@ -217,12 +286,36 @@ def compute_dependences(program: Program) -> list[Dependence]:
         )
         if not cases:
             continue
+        pair_base: Optional[BasicSet] = None
         for kind, acc_s, acc_t in _access_pairs(src, tgt):
-            for case in cases:
-                poly = _dependence_polyhedron(
-                    program, src, tgt, acc_s, acc_t, case,
-                    space, src_rename, tgt_rename,
+            if pair_base is None:
+                pair_base = BasicSet(space)
+                for con in src.domain.constraints:
+                    pair_base.add(con.rebase(space, src_rename))
+                for con in tgt.domain.constraints:
+                    pair_base.add(con.rebase(space, tgt_rename))
+                for con in program.context_constraints(space):
+                    pair_base.add(con)
+            acc_base = pair_base.copy()
+            if acc_s.guard is not None:
+                for con in acc_s.guard.constraints:
+                    acc_base.add(con.rebase(space, src_rename))
+            if acc_t.guard is not None:
+                for con in acc_t.guard.constraints:
+                    acc_base.add(con.rebase(space, tgt_rename))
+            for es, et in zip(acc_s.map.exprs, acc_t.map.exprs):
+                acc_base.add(
+                    Constraint(
+                        et.rebase(space, tgt_rename)
+                        - es.rebase(space, src_rename),
+                        equality=True,
+                    )
                 )
+            for case in cases:
+                poly = acc_base.copy()
+                for con in case:
+                    poly.add(con)
+                pairs_tested += 1
                 if set_is_empty(poly):
                     continue
                 deps.append(
@@ -236,4 +329,13 @@ def compute_dependences(program: Program) -> list[Dependence]:
                         tgt_rename=tgt_rename,
                     )
                 )
+    if stats is not None:
+        delta = cache_stats.delta_since(base_snapshot)
+        stats.pairs_tested += pairs_tested
+        stats.deps_found += len(deps)
+        stats.fast_rejects += delta.fast_rejects
+        stats.cache_hits += delta.hits
+        stats.cache_misses += delta.misses
+        stats.fm_saved += delta.project_hits
+        stats.analysis_seconds += time.perf_counter() - t_start
     return deps

@@ -8,22 +8,33 @@ dimension that orders the SCCs.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import Iterable, Optional, Sequence
 
 import networkx as nx
 
-from repro.deps.analysis import Dependence
+from repro.deps.analysis import Dependence, DepStats
 from repro.frontend.ir import Program, Statement
 
 __all__ = ["DependenceGraph"]
 
 
 class DependenceGraph:
-    """DDG over statements with dependence-labelled edges."""
+    """DDG over statements with dependence-labelled edges.
 
-    def __init__(self, program: Program, deps: Sequence[Dependence]):
+    ``stats`` (optional) carries the :class:`DepStats` record of the analysis
+    that produced ``deps``, so downstream reporting can show the fast-path
+    counters next to the graph.
+    """
+
+    def __init__(
+        self,
+        program: Program,
+        deps: Sequence[Dependence],
+        stats: Optional[DepStats] = None,
+    ):
         self.program = program
         self.deps = list(deps)
+        self.dep_stats = stats
         self.graph = nx.MultiDiGraph()
         for s in program.statements:
             self.graph.add_node(s.name)

@@ -16,8 +16,9 @@ and a per-stage :class:`TimingBreakdown`.
 from __future__ import annotations
 
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Optional, Union
 
 from repro.codegen import generate_python
 from repro.core.diamond import find_diamond_schedule
@@ -32,8 +33,9 @@ from repro.core.tiling import (
     untiled_schedule,
 )
 from repro.core.transform import Schedule
-from repro.deps import DependenceGraph, compute_dependences
+from repro.deps import DependenceGraph, DepStats, compute_dependences
 from repro.frontend.ir import Program
+from repro.polyhedra.cache import cache_disabled
 
 __all__ = ["PipelineOptions", "TimingBreakdown", "OptimizationResult", "optimize"]
 
@@ -59,6 +61,28 @@ class PipelineOptions:
     l2tile: bool = False              # --l2tile: second level of tiling
     l2_ratio: int = 8
     intra_tile: bool = False          # post-pass: rotate parallel loop inward
+    deps_cache: bool = True           # --no-deps-cache disables the fast path
+
+    def __post_init__(self) -> None:
+        """Validate up front — bad values otherwise surface as cryptic
+        failures deep in codegen (``tile_size=0`` used to die with an
+        "unbounded scan dimension" RuntimeError)."""
+        if self.algorithm not in ("pluto", "plutoplus"):
+            raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.ilp_backend not in ("exact", "highs", "auto"):
+            raise ValueError(f"unknown ilp_backend {self.ilp_backend!r}")
+        if self.fuse not in ("smart", "max", "no"):
+            raise ValueError(f"unknown fusion policy {self.fuse!r}")
+        if self.coeff_bound < 1:
+            raise ValueError("coeff_bound must be >= 1")
+        if self.tile_size < 1:
+            raise ValueError(
+                "tile_size must be >= 1 (set tile=False to disable tiling)"
+            )
+        if self.l2_ratio < 1:
+            raise ValueError("l2_ratio must be >= 1")
+        if self.min_band_width < 1:
+            raise ValueError("min_band_width must be >= 1")
 
     def scheduler_options(self) -> SchedulerOptions:
         return SchedulerOptions(
@@ -113,6 +137,7 @@ class OptimizationResult:
     code: object                      # GeneratedCode
     timing: TimingBreakdown
     scheduler_stats: Optional[SchedulerStats] = None
+    dep_stats: Optional[DepStats] = None
     used_iss: bool = False
     used_diamond: bool = False
     options: Optional[PipelineOptions] = None
@@ -128,14 +153,37 @@ class OptimizationResult:
         return "\n".join(lines)
 
 
-def optimize(program: Program, options: Optional[PipelineOptions] = None) -> OptimizationResult:
-    """Run the full polyhedral source-to-source pipeline on ``program``."""
-    options = options or PipelineOptions()
-    timing = TimingBreakdown()
+def optimize(
+    program: Union[Program, str], options: Optional[PipelineOptions] = None
+) -> OptimizationResult:
+    """Run the full polyhedral source-to-source pipeline on ``program``.
 
-    t0 = time.perf_counter()
-    deps = compute_dependences(program)
-    timing.dependence_analysis = time.perf_counter() - t0
+    ``program`` may be a :class:`Program` or a registered workload name
+    (resolved through :func:`repro.workloads.get_workload`); anything else
+    is a :class:`TypeError`.
+    """
+    options = options or PipelineOptions()
+    if isinstance(program, str):
+        # Late import: repro.workloads imports PipelineOptions from here.
+        from repro.workloads import get_workload
+
+        program = get_workload(program).program()
+    if not isinstance(program, Program):
+        raise TypeError(
+            f"optimize() expects a Program or a workload name, got "
+            f"{type(program).__name__}; see repro.workloads.get_workload"
+        )
+    guard = nullcontext() if options.deps_cache else cache_disabled()
+    with guard:
+        return _optimize(program, options)
+
+
+def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
+    timing = TimingBreakdown()
+    dep_stats = DepStats()
+
+    deps = compute_dependences(program, dep_stats)
+    timing.dependence_analysis = dep_stats.analysis_seconds
 
     used_iss = False
     work = program
@@ -144,11 +192,10 @@ def optimize(program: Program, options: Optional[PipelineOptions] = None) -> Opt
         work, used_iss = index_set_split(program, deps)
         timing.auto_transformation += time.perf_counter() - t0
         if used_iss:
-            t0 = time.perf_counter()
-            deps = compute_dependences(work)
-            timing.dependence_analysis += time.perf_counter() - t0
+            deps = compute_dependences(work, dep_stats)
+            timing.dependence_analysis = dep_stats.analysis_seconds
 
-    ddg = DependenceGraph(work, deps)
+    ddg = DependenceGraph(work, deps, stats=dep_stats)
     sched_opts = options.scheduler_options()
 
     schedule: Optional[Schedule] = None
@@ -197,6 +244,7 @@ def optimize(program: Program, options: Optional[PipelineOptions] = None) -> Opt
         code=code,
         timing=timing,
         scheduler_stats=stats,
+        dep_stats=dep_stats,
         used_iss=used_iss,
         used_diamond=used_diamond,
         options=options,

@@ -1,6 +1,13 @@
 """Polyhedral set and map machinery (the ISL-role substrate)."""
 
 from repro.polyhedra.affine import AffExpr, Space
+from repro.polyhedra.cache import (
+    PolyCache,
+    PolyCacheStats,
+    cache_disabled,
+    cache_enabled,
+    global_cache,
+)
 from repro.polyhedra.constraints import Constraint, eq, ineq
 from repro.polyhedra.fourier_motzkin import (
     eliminate_column,
@@ -16,8 +23,13 @@ __all__ = [
     "AffineMap",
     "BasicSet",
     "Constraint",
+    "PolyCache",
+    "PolyCacheStats",
     "Space",
     "UnionSet",
+    "cache_disabled",
+    "cache_enabled",
+    "global_cache",
     "eliminate_column",
     "eliminate_columns",
     "eq",

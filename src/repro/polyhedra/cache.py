@@ -1,0 +1,228 @@
+"""Content-addressed memoization for the expensive polyhedral primitives.
+
+Dependence analysis and the scheduler's satisfaction tracking issue the same
+small queries — emptiness checks, integer minima of affine expressions,
+lexmins, Fourier–Motzkin projections — over the same constraint systems many
+times: once per happens-before case and access pair during analysis, then
+again per schedule level, per diamond attempt, and once more in
+``mark_parallelism``.  All of these queries are pure functions of the
+constraint *content*, so they are memoized here behind a process-global
+:class:`PolyCache` keyed on ``(space, constraint rows)`` — the polyhedral
+analogue of the solver-side warm-start/dedup work (`repro.ilp`).
+
+Keys are content-addressed, so no invalidation is ever needed: a mutated
+:class:`~repro.polyhedra.sets.BasicSet` simply produces a new key.  The cache
+is bounded (`max_entries` per table, cleared wholesale on overflow) so
+long-running processes cannot grow without bound.
+
+Escape hatch: ``REPRO_DEPS_NO_CACHE=1`` (or the :func:`cache_disabled`
+context manager, used by ``--no-deps-cache``) disables both the memoization
+and the cheap fast-reject pre-filter in :mod:`repro.polyhedra.fastcheck`,
+reproducing the seed's uncached behavior bit for bit.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = [
+    "PolyCacheStats",
+    "PolyCache",
+    "global_cache",
+    "active_cache",
+    "cache_enabled",
+    "cache_disabled",
+    "MISS",
+]
+
+#: Sentinel distinguishing "no cached entry" from a cached ``None`` result.
+MISS = object()
+
+
+@dataclass
+class PolyCacheStats:
+    """Hit/miss accounting per memoized primitive, plus fast-reject counts.
+
+    ``fast_rejects`` is incremented by :mod:`repro.polyhedra.fastcheck` when
+    the cheap bound/gcd pre-filter proves a system empty without any LP/ILP
+    call; it lives here so one snapshot captures the whole fast path.
+    """
+
+    empty_lookups: int = 0
+    empty_hits: int = 0
+    min_lookups: int = 0
+    min_hits: int = 0
+    lexmin_lookups: int = 0
+    lexmin_hits: int = 0
+    project_lookups: int = 0
+    project_hits: int = 0
+    fast_rejects: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return (
+            self.empty_lookups
+            + self.min_lookups
+            + self.lexmin_lookups
+            + self.project_lookups
+        )
+
+    @property
+    def hits(self) -> int:
+        return (
+            self.empty_hits + self.min_hits + self.lexmin_hits + self.project_hits
+        )
+
+    @property
+    def misses(self) -> int:
+        return self.lookups - self.hits
+
+    def snapshot(self) -> "PolyCacheStats":
+        return PolyCacheStats(
+            self.empty_lookups,
+            self.empty_hits,
+            self.min_lookups,
+            self.min_hits,
+            self.lexmin_lookups,
+            self.lexmin_hits,
+            self.project_lookups,
+            self.project_hits,
+            self.fast_rejects,
+        )
+
+    def delta_since(self, base: "PolyCacheStats") -> "PolyCacheStats":
+        return PolyCacheStats(
+            self.empty_lookups - base.empty_lookups,
+            self.empty_hits - base.empty_hits,
+            self.min_lookups - base.min_lookups,
+            self.min_hits - base.min_hits,
+            self.lexmin_lookups - base.lexmin_lookups,
+            self.lexmin_hits - base.lexmin_hits,
+            self.project_lookups - base.project_lookups,
+            self.project_hits - base.project_hits,
+            self.fast_rejects - base.fast_rejects,
+        )
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "empty_lookups": self.empty_lookups,
+            "empty_hits": self.empty_hits,
+            "min_lookups": self.min_lookups,
+            "min_hits": self.min_hits,
+            "lexmin_lookups": self.lexmin_lookups,
+            "lexmin_hits": self.lexmin_hits,
+            "project_lookups": self.project_lookups,
+            "project_hits": self.project_hits,
+            "fast_rejects": self.fast_rejects,
+        }
+
+
+class PolyCache:
+    """Memo tables for the polyhedral primitives, with stats.
+
+    One table per primitive; every table is keyed on values derived from the
+    constraint content (see ``BasicSet.content_key``), so entries never go
+    stale.  Each table is cleared wholesale when it exceeds ``max_entries``
+    — the simplest bound that cannot change answers.
+    """
+
+    def __init__(self, max_entries: int = 200_000):
+        self.max_entries = max_entries
+        self.stats = PolyCacheStats()
+        self._empty: dict = {}
+        self._min: dict = {}
+        self._lexmin: dict = {}
+        self._project: dict = {}
+
+    # -- generic plumbing -----------------------------------------------------
+
+    def _get(self, table: dict, key, lookups: str, hits: str):
+        setattr(self.stats, lookups, getattr(self.stats, lookups) + 1)
+        value = table.get(key, MISS)
+        if value is not MISS:
+            setattr(self.stats, hits, getattr(self.stats, hits) + 1)
+        return value
+
+    def _put(self, table: dict, key, value) -> None:
+        if len(table) >= self.max_entries:
+            table.clear()
+        table[key] = value
+
+    # -- per-primitive accessors ----------------------------------------------
+
+    def get_empty(self, key):
+        return self._get(self._empty, key, "empty_lookups", "empty_hits")
+
+    def put_empty(self, key, value: bool) -> None:
+        self._put(self._empty, key, value)
+
+    def get_min(self, key):
+        return self._get(self._min, key, "min_lookups", "min_hits")
+
+    def put_min(self, key, value) -> None:
+        self._put(self._min, key, value)
+
+    def get_lexmin(self, key):
+        return self._get(self._lexmin, key, "lexmin_lookups", "lexmin_hits")
+
+    def put_lexmin(self, key, value) -> None:
+        self._put(self._lexmin, key, value)
+
+    def get_project(self, key):
+        return self._get(self._project, key, "project_lookups", "project_hits")
+
+    def put_project(self, key, value) -> None:
+        self._put(self._project, key, value)
+
+    def clear(self) -> None:
+        """Drop every entry (stats are kept; reset them separately)."""
+        self._empty.clear()
+        self._min.clear()
+        self._lexmin.clear()
+        self._project.clear()
+
+    def reset_stats(self) -> None:
+        self.stats = PolyCacheStats()
+
+    def __len__(self) -> int:
+        return (
+            len(self._empty)
+            + len(self._min)
+            + len(self._lexmin)
+            + len(self._project)
+        )
+
+
+_GLOBAL = PolyCache()
+_DISABLE_DEPTH = 0
+
+
+def global_cache() -> PolyCache:
+    """The process-wide cache instance (content-keyed, never stale)."""
+    return _GLOBAL
+
+
+def cache_enabled() -> bool:
+    """Whether the fast path (memoization + fast-reject) is active."""
+    if _DISABLE_DEPTH > 0:
+        return False
+    return os.environ.get("REPRO_DEPS_NO_CACHE", "") in ("", "0")
+
+
+def active_cache() -> Optional[PolyCache]:
+    """The global cache when enabled, else ``None`` (callers skip memo)."""
+    return _GLOBAL if cache_enabled() else None
+
+
+@contextmanager
+def cache_disabled():
+    """Temporarily disable the fast path (``--no-deps-cache``)."""
+    global _DISABLE_DEPTH
+    _DISABLE_DEPTH += 1
+    try:
+        yield
+    finally:
+        _DISABLE_DEPTH -= 1

@@ -16,10 +16,14 @@ from typing import Iterable, Mapping, Optional, Sequence
 from repro.ilp import ILPModel, ILPStatus, lexmin as ilp_lexmin, solve_ilp
 from repro.ilp.highs_backend import solve_ilp_highs
 from repro.polyhedra.affine import AffExpr, Space
+from repro.polyhedra.cache import MISS as MISS_, active_cache
 from repro.polyhedra.constraints import Constraint
 from repro.polyhedra.fourier_motzkin import Row, eliminate_columns, normalize_rows
 
 __all__ = ["BasicSet", "UnionSet"]
+
+#: cache marker for "min_of raised ValueError (unbounded direction)"
+_UNBOUNDED = object()
 
 
 class BasicSet:
@@ -28,6 +32,9 @@ class BasicSet:
     def __init__(self, space: Space, constraints: Iterable[Constraint] = ()):
         self.space = space
         self.constraints: list[Constraint] = []
+        self._conset: set[Constraint] = set()
+        self._key: Optional[tuple] = None
+        self._key_n = -1
         for con in constraints:
             self.add(con)
 
@@ -60,13 +67,29 @@ class BasicSet:
             con = con.rebase(self.space)
         if con.is_trivial():
             return
-        if con not in self.constraints:
+        if con not in self._conset:
             self.constraints.append(con)
+            self._conset.add(con)
 
     def copy(self) -> "BasicSet":
         out = BasicSet(self.space)
         out.constraints = list(self.constraints)
+        out._conset = set(self._conset)
         return out
+
+    def content_key(self) -> tuple:
+        """Hashable content identity: the space plus the constraint rows.
+
+        Order-insensitive (constraints are a conjunction), so syntactically
+        reordered but identical systems share memo entries.  ``add`` only
+        ever appends, so the constraint count is a valid staleness token for
+        the lazily computed key.
+        """
+        if self._key is None or self._key_n != len(self.constraints):
+            rows = frozenset((c.coeffs, c.equality) for c in self.constraints)
+            self._key = (self.space, rows)
+            self._key_n = len(self.constraints)
+        return self._key
 
     def intersect(self, other: "BasicSet") -> "BasicSet":
         out = self.copy()
@@ -112,36 +135,70 @@ class BasicSet:
         return solve_ilp(model, objective)  # pragma: no cover - defensive
 
     def is_empty(self) -> bool:
-        """Exact integer emptiness."""
+        """Exact integer emptiness (memoized on the constraint content)."""
         if any(con.is_contradiction() for con in self.constraints):
             return True
-        return self._solve({}).status == ILPStatus.INFEASIBLE
+        cache = active_cache()
+        if cache is None:
+            return self._solve({}).status == ILPStatus.INFEASIBLE
+        key = self.content_key()
+        hit = cache.get_empty(key)
+        if hit is not MISS_:
+            return hit
+        empty = self._solve({}).status == ILPStatus.INFEASIBLE
+        cache.put_empty(key, empty)
+        return empty
 
     def min_of(self, expr: AffExpr) -> Optional[Fraction]:
-        """Integer minimum of ``expr`` over the set.
+        """Integer minimum of ``expr`` over the set (memoized).
 
         Returns ``None`` when the set is empty; raises on an unbounded
         direction (callers ask about bounded quantities only).
         """
+        cache = active_cache()
+        key = None
+        if cache is not None:
+            key = (self.content_key(), expr.coeffs)
+            hit = cache.get_min(key)
+            if hit is not MISS_:
+                if hit is _UNBOUNDED:
+                    raise ValueError(f"min of {expr} is unbounded over {self}")
+                return hit
         res = self._solve(expr.terms())
         if res.status == ILPStatus.INFEASIBLE:
-            return None
-        if res.status == ILPStatus.UNBOUNDED:
+            value = None
+        elif res.status == ILPStatus.UNBOUNDED:
+            if cache is not None:
+                cache.put_min(key, _UNBOUNDED)
             raise ValueError(f"min of {expr} is unbounded over {self}")
-        return res.objective + expr.const_term
+        else:
+            value = res.objective + expr.const_term
+        if cache is not None:
+            cache.put_min(key, value)
+        return value
 
     def max_of(self, expr: AffExpr) -> Optional[Fraction]:
         m = self.min_of(-expr)
         return None if m is None else -m
 
     def lexmin_point(self) -> Optional[dict[str, int]]:
-        """Lexicographically smallest integer point (dims order), if any."""
+        """Lexicographically smallest integer point (dims order), memoized."""
+        cache = active_cache()
+        key = None
+        if cache is not None:
+            key = self.content_key()
+            hit = cache.get_lexmin(key)
+            if hit is not MISS_:
+                return dict(hit) if hit is not None else None
         model = self._build_model()
         model.set_objective_order(list(self.space.dims))
         res = ilp_lexmin(model, backend="highs")
-        if not res.is_optimal:
-            return None
-        return {d: int(res.assignment[d]) for d in self.space.dims}
+        point = None
+        if res.is_optimal:
+            point = {d: int(res.assignment[d]) for d in self.space.dims}
+        if cache is not None:
+            cache.put_lexmin(key, dict(point) if point is not None else None)
+        return point
 
     def sample_point(self) -> Optional[dict[str, int]]:
         point = self.lexmin_point()
@@ -151,8 +208,20 @@ class BasicSet:
         """Existentially project out the named dims (rational FM shadow).
 
         Deep projections (code generation) enable LP-based redundancy
-        pruning so the FM cascade stays polynomial in practice.
+        pruning so the FM cascade stays polynomial in practice.  Results are
+        memoized on ``(content, projected names)`` — identical scan systems
+        recur across tiles/statements, and each hit saves a full FM cascade.
         """
+        cache = active_cache()
+        key = None
+        if cache is not None:
+            key = (self.content_key(), tuple(names))
+            hit = cache.get_project(key)
+            if hit is not MISS_:
+                out = BasicSet(hit.space)
+                out.constraints = list(hit.constraints)
+                out._conset = set(hit._conset)
+                return out
         cols = [self.space.column_of(n) for n in names]
         rows = eliminate_columns(self._to_rows(), cols, prune_threshold=40)
         new_space = self.space.drop_dims(names)
@@ -166,6 +235,8 @@ class BasicSet:
             assert all(coeffs[c] == 0 for c in cols)
             sub = tuple(coeffs[i] for i in keep_cols)
             out.add(Constraint(AffExpr(new_space, sub), equality))
+        if cache is not None:
+            cache.put_project(key, out.copy())
         return out
 
     def bounds_for(self, name: str) -> tuple[list[tuple[AffExpr, int]], list[tuple[AffExpr, int]]]:

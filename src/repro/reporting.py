@@ -15,6 +15,7 @@ __all__ = [
     "geomean",
     "format_table",
     "format_solve_stats",
+    "format_dep_stats",
     "normalized_breakdown",
     "ascii_series",
 ]
@@ -69,6 +70,15 @@ def format_solve_stats(stats: Mapping[str, float], indent: str = "  ") -> str:
         rows.append((key, shown))
     width = max(len(k) for k, _ in rows) if rows else 0
     return "\n".join(f"{indent}{k.ljust(width)}  {v}" for k, v in rows)
+
+
+def format_dep_stats(stats: Mapping[str, float], indent: str = "  ") -> str:
+    """Render dependence fast-path counters (``DepStats.as_dict()``).
+
+    Same layout rules as :func:`format_solve_stats`, so the two blocks line
+    up under ``--stats``.
+    """
+    return format_solve_stats(stats, indent=indent)
 
 
 def normalized_breakdown(parts: Mapping[str, float]) -> dict[str, float]:

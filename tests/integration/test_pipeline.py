@@ -62,6 +62,70 @@ class TestPipeline:
         assert res.timing.ilp_solve > 0
 
 
+class TestPipelineInputs:
+    def test_string_input_resolves_workload(self):
+        res = optimize("fig1-skew", PipelineOptions(tile=False))
+        assert res.source_program.name == get_workload("fig1-skew").program().name
+        assert res.schedule.depth > 0
+
+    def test_string_input_unknown_workload(self):
+        with pytest.raises(KeyError, match="unknown workload"):
+            optimize("nope-kernel")
+
+    def test_non_program_input_rejected(self):
+        with pytest.raises(TypeError, match="Program or a workload name"):
+            optimize(123)
+
+    def test_dep_stats_populated(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        res = optimize(p, PipelineOptions(tile=False))
+        assert res.dep_stats is not None
+        assert res.dep_stats.pairs_tested > 0
+        assert res.dep_stats.deps_found > 0
+        assert res.timing.dependence_analysis == pytest.approx(
+            res.dep_stats.analysis_seconds
+        )
+
+    def test_deps_cache_off_matches_default(self):
+        p = parse_program(SIMPLE, "p", params=("N",))
+        base = optimize(p, PipelineOptions(tile=False))
+        off = optimize(p, PipelineOptions(tile=False, deps_cache=False))
+        assert off.dep_stats.lookups == 0
+        assert off.dep_stats.fast_rejects == 0
+        assert off.schedule.pretty() == base.schedule.pretty()
+
+
+class TestPipelineOptionValidation:
+    def test_tile_size_zero_rejected(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            PipelineOptions(tile_size=0)
+
+    def test_tile_size_negative_rejected(self):
+        with pytest.raises(ValueError, match="tile_size"):
+            PipelineOptions(tile_size=-4)
+
+    def test_l2_ratio_validated(self):
+        with pytest.raises(ValueError, match="l2_ratio"):
+            PipelineOptions(l2_ratio=0)
+
+    def test_min_band_width_validated(self):
+        with pytest.raises(ValueError, match="min_band_width"):
+            PipelineOptions(min_band_width=0)
+
+    def test_coeff_bound_validated(self):
+        with pytest.raises(ValueError, match="coeff_bound"):
+            PipelineOptions(coeff_bound=0)
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(ValueError, match="algorithm"):
+            PipelineOptions(algorithm="tutu")
+
+    def test_tile_false_allows_any_tile_size_ge_one(self):
+        # disabling tiling is the documented way out, not tile_size=0
+        opts = PipelineOptions(tile=False)
+        assert opts.tile_size >= 1
+
+
 class TestCEmitter:
     def test_structure(self):
         p = parse_program(SIMPLE, "p", params=("N",))

@@ -78,3 +78,55 @@ class TestCLI:
         ) == 0
         out = capsys.readouterr().out
         assert "16*z0" not in out and "32*z0" not in out
+
+
+class TestCLIWorkloadResolution:
+    def test_unknown_positional_suggests_list(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["opt", "nope-kernel", "--emit", "schedule"])
+        msg = str(exc.value)
+        assert "nope-kernel" in msg
+        assert "repro list" in msg
+        assert "Traceback" not in capsys.readouterr().err
+
+    def test_unknown_workload_flag_suggests_list(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["opt", "--workload", "nope-kernel", "--emit", "schedule"])
+        msg = str(exc.value)
+        assert "nope-kernel" in msg and "repro list" in msg
+
+    def test_positional_workload_name_resolves(self, capsys):
+        assert main(["opt", "fig1-skew", "--emit", "schedule"]) == 0
+        assert "T_S0" in capsys.readouterr().out
+
+    def test_deps_unknown_workload(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["deps", "nope-kernel"])
+        assert "repro list" in str(exc.value)
+
+
+class TestCLIDepsCache:
+    def test_no_deps_cache_flag(self, kernel_file, capsys):
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--no-deps-cache",
+             "--emit", "schedule"]
+        ) == 0
+        assert "T_S0" in capsys.readouterr().out
+
+    def test_deps_command_no_cache_matches(self, kernel_file, capsys):
+        assert main(["deps", kernel_file, "--params", "N"]) == 0
+        cached = capsys.readouterr().out
+        assert main(
+            ["deps", kernel_file, "--params", "N", "--no-deps-cache"]
+        ) == 0
+        assert capsys.readouterr().out == cached
+
+    def test_stats_prints_dependence_block(self, kernel_file, capsys):
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--stats",
+             "--emit", "schedule"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "# dependence stats:" in err
+        assert "pairs_tested" in err
+        assert "fast_rejects" in err
