@@ -3,32 +3,53 @@
     PLUTO+: Near-Complete Modeling of Affine Transformations for
     Parallelism and Locality.  Acharya & Bondhugula, PPoPP 2015.
 
-Top-level convenience API::
+The supported public surface is :mod:`repro.api`, re-exported here::
 
-    from repro import optimize, parse_program, PipelineOptions
+    from repro import optimize, verify, PipelineOptions
 
-    program = parse_program(source, "name", params=("N",))
-    result = optimize(program, PipelineOptions(algorithm="plutoplus"))
+    result = optimize("heat-1dp", PipelineOptions(algorithm="plutoplus"))
     print(result.schedule.pretty())
+    assert verify(result).legal
     result.code.run(arrays, params)
 
-Sub-packages: :mod:`repro.polyhedra` (integer sets), :mod:`repro.ilp`
+Results are picklable and JSON round-trippable
+(``OptimizationResult.from_json(result.to_json()) == result``), so they
+cross process boundaries — the basis of the ``repro suite`` parallel
+runner (:mod:`repro.suite`).
+
+Everything else — :mod:`repro.polyhedra` (integer sets), :mod:`repro.ilp`
 (lexmin ILP), :mod:`repro.frontend` (IR/builder/parser), :mod:`repro.deps`
 (dependence analysis), :mod:`repro.core` (the Pluto/Pluto+ schedulers, ISS,
 diamond tiling), :mod:`repro.codegen`, :mod:`repro.runtime`,
-:mod:`repro.machine`, :mod:`repro.workloads`, :mod:`repro.apps`.
+:mod:`repro.machine`, :mod:`repro.workloads`, :mod:`repro.apps` — is
+internal; deep imports keep working but carry no stability promise
+(``docs/API.md``).
 """
 
+from repro.api import (
+    OptimizationResult,
+    PipelineOptions,
+    TimingBreakdown,
+    VerificationReport,
+    analyze_dependences,
+    list_workloads,
+    optimize,
+    verify,
+)
 from repro.frontend import ProgramBuilder, parse_program
-from repro.pipeline import OptimizationResult, PipelineOptions, optimize
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OptimizationResult",
     "PipelineOptions",
     "ProgramBuilder",
+    "TimingBreakdown",
+    "VerificationReport",
     "__version__",
+    "analyze_dependences",
+    "list_workloads",
     "optimize",
     "parse_program",
+    "verify",
 ]

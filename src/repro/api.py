@@ -1,0 +1,98 @@
+"""The supported public API surface.
+
+Everything exported here — and re-exported from :mod:`repro` — is stable:
+signatures and serialized shapes only change with a major version bump and
+a documented migration.  Deep imports (``repro.pipeline``, ``repro.core.*``,
+``repro.polyhedra.*``, ...) keep working but are internal wiring and may be
+reorganized freely between versions; see ``docs/API.md``.
+
+    from repro import api
+
+    result = api.optimize("heat-1dp")
+    report = api.verify(result)
+    deps = api.analyze_dependences("heat-1dp")
+    names = api.list_workloads("periodic")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.verify import VerificationReport, verify_schedule
+from repro.frontend.ir import Program
+from repro.pipeline import (
+    OptimizationResult,
+    PipelineOptions,
+    TimingBreakdown,
+    optimize,
+)
+
+__all__ = [
+    "OptimizationResult",
+    "PipelineOptions",
+    "TimingBreakdown",
+    "VerificationReport",
+    "analyze_dependences",
+    "list_workloads",
+    "optimize",
+    "verify",
+]
+
+
+def _resolve_program(program: Union[Program, str]) -> Program:
+    if isinstance(program, str):
+        from repro.workloads import get_workload
+
+        return get_workload(program).program()
+    if not isinstance(program, Program):
+        raise TypeError(
+            f"expected a Program or a workload name, got {type(program).__name__}"
+        )
+    return program
+
+
+def analyze_dependences(program: Union[Program, str]):
+    """Compute the dependence polyhedra of ``program``.
+
+    ``program`` may be a :class:`Program` or a registered workload name.
+    Returns the list of :class:`repro.deps.Dependence` edges.
+    """
+    from repro.deps import compute_dependences
+
+    return compute_dependences(_resolve_program(program))
+
+
+def verify(
+    result_or_schedule,
+    program: Optional[Union[Program, str]] = None,
+) -> VerificationReport:
+    """Independently check schedule legality against fresh dependences.
+
+    Accepts an :class:`OptimizationResult` (verifies its schedule against
+    its post-ISS program) or a bare ``Schedule``/``TiledSchedule`` plus the
+    ``program`` it schedules.  The check never trusts scheduler bookkeeping:
+    dependences are recomputed from the program.
+    """
+    from repro.deps import DependenceGraph, compute_dependences
+
+    if isinstance(result_or_schedule, OptimizationResult):
+        program_obj = result_or_schedule.program
+        schedule = result_or_schedule.schedule
+    else:
+        if program is None:
+            raise TypeError(
+                "verify(schedule, program=...) requires the program when not "
+                "passed an OptimizationResult"
+            )
+        program_obj = _resolve_program(program)
+        schedule = result_or_schedule
+    ddg = DependenceGraph(program_obj, compute_dependences(program_obj))
+    return verify_schedule(schedule, ddg)
+
+
+def list_workloads(category: Optional[str] = None) -> list[str]:
+    """Names of registered workloads, optionally filtered by category
+    (``"polybench"``, ``"periodic"``, ``"motivation"``)."""
+    from repro.workloads import all_workloads
+
+    return [w.name for w in all_workloads(category)]

@@ -8,11 +8,14 @@ Usage::
     python -m repro verify --workload heat-1dp --algorithm plutoplus
     python -m repro deps kernel.c --params N
     python -m repro list
+    python -m repro suite --jobs 4 --filter 'heat-*'
 
 ``opt`` parses an affine C-like loop nest (or loads a registered workload),
 runs the full pipeline, and emits the transformed code; ``verify`` runs the
-independent legality checker on the computed schedule; ``deps`` prints the
-dependence analysis; ``list`` enumerates registered workloads.
+independent legality checker on the computed schedule (nonzero exit on an
+illegal schedule); ``deps`` prints the dependence analysis; ``list``
+enumerates registered workloads; ``suite`` fans the workload matrix out
+over worker processes and writes a ``runs/<suite-id>/`` manifest.
 """
 
 from __future__ import annotations
@@ -71,7 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--stats", action="store_true",
                      help="print solver counters (pivots, B&B nodes, "
                           "warm-start hits, ...) to stderr")
-    opt.add_argument("--emit", choices=("c", "py", "schedule"), default="c")
+    opt.add_argument("--emit", choices=("c", "py", "schedule", "schedule-json"),
+                     default="c")
     opt.add_argument("-o", "--output", help="write emitted code to a file")
 
     ver = sub.add_parser("verify", help="verify schedule legality independently")
@@ -79,11 +83,44 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--algorithm", choices=("pluto", "plutoplus"), default="plutoplus")
     ver.add_argument("--iss", action="store_true")
     ver.add_argument("--diamond", action="store_true")
+    ver.add_argument("--schedule", metavar="FILE",
+                     help="verify this exported schedule (JSON from "
+                          "`opt --emit schedule-json`) instead of running "
+                          "the scheduler")
 
     deps = sub.add_parser("deps", help="print dependence analysis")
     add_input_args(deps)
 
     sub.add_parser("list", help="list registered workloads")
+
+    suite = sub.add_parser(
+        "suite",
+        help="run the workload matrix in parallel worker processes",
+    )
+    suite.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="parallel worker processes (default: cpu count)")
+    suite.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-run deadline in seconds (default 900)")
+    suite.add_argument("--retries", type=int, default=None, metavar="N",
+                       help="re-attempts after a crash/timeout (default 1)")
+    suite.add_argument("--filter", action="append", default=[], metavar="GLOB",
+                       help="keep only workloads/run-ids matching this glob "
+                            "(repeatable)")
+    suite.add_argument("--category",
+                       choices=("periodic", "polybench", "motivation", "all"),
+                       default="periodic",
+                       help="workload category to run (default: periodic, "
+                            "the paper's Table 2 suite)")
+    suite.add_argument("--variants", default="plutoplus",
+                       help="comma-separated option variants "
+                            "(plutoplus, pluto, notile, l2tile)")
+    suite.add_argument("--out", default="runs", metavar="DIR",
+                       help="manifest root directory (default: runs/)")
+    suite.add_argument("--resume", metavar="DIR",
+                       help="resume a partial suite from its manifest "
+                            "directory, skipping completed runs")
+    suite.add_argument("--quiet", action="store_true",
+                       help="suppress per-run progress lines")
     return parser
 
 
@@ -161,6 +198,10 @@ def _cmd_opt(args) -> int:
                   file=sys.stderr)
     if args.emit == "schedule":
         out = result.schedule.pretty() + "\n"
+    elif args.emit == "schedule-json":
+        import json
+
+        out = json.dumps(result.schedule.to_dict(), indent=1) + "\n"
     elif args.emit == "py":
         out = result.code.python_source
     else:
@@ -174,15 +215,32 @@ def _cmd_opt(args) -> int:
 
 
 def _cmd_verify(args) -> int:
+    """Exit 0 iff the schedule is provably legal.
+
+    Anything else — violations, an unreadable/mismatched schedule export,
+    a crash inside the checker — exits nonzero, so CI can gate on it.
+    """
+    from repro.core.transform import Schedule
     from repro.core.verify import verify_schedule
     from repro.deps import DependenceGraph, compute_dependences
 
     program = _load_program(args)
-    result = optimize(program, _pipeline_options_noemit(args))
-    ddg = DependenceGraph(
-        result.program, compute_dependences(result.program)
-    )
-    report = verify_schedule(result.schedule, ddg)
+    if args.schedule:
+        import json
+
+        try:
+            data = json.loads(Path(args.schedule).read_text())
+            schedule = Schedule.from_dict(program, data)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"error: cannot load schedule {args.schedule!r}: {e}",
+                  file=sys.stderr)
+            return 2
+    else:
+        result = optimize(program, _pipeline_options_noemit(args))
+        program = result.program  # post-ISS program actually scheduled
+        schedule = result.schedule
+    ddg = DependenceGraph(program, compute_dependences(program))
+    report = verify_schedule(schedule, ddg)
     print(report)
     return 0 if report.legal else 1
 
@@ -213,6 +271,52 @@ def _cmd_deps(args) -> int:
     return 0
 
 
+def _cmd_suite(args) -> int:
+    """Run the workload matrix in parallel; exit nonzero on any RunFailure."""
+    import os
+
+    from repro.reporting import format_suite_report
+    from repro.suite import SuiteManifest, build_matrix, run_suite
+    from repro.suite.runner import DEFAULT_RETRIES, DEFAULT_TIMEOUT
+
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    timeout = args.timeout if args.timeout is not None else DEFAULT_TIMEOUT
+    retries = args.retries if args.retries is not None else DEFAULT_RETRIES
+    progress = None if args.quiet else (
+        lambda msg: print(f"# {msg}", file=sys.stderr, flush=True)
+    )
+
+    if args.resume:
+        manifest = SuiteManifest.load(Path(args.resume))
+    else:
+        specs = build_matrix(
+            category=args.category,
+            variants=[v.strip() for v in args.variants.split(",") if v.strip()],
+            filters=args.filter,
+        )
+        if not specs:
+            raise SystemExit(
+                "error: the matrix is empty (filters matched nothing); "
+                "run `python -m repro list` to see registered workloads"
+            )
+        manifest = SuiteManifest.create(
+            Path(args.out), specs,
+            {"jobs": jobs, "timeout": timeout, "retries": retries},
+        )
+    print(f"# manifest: {manifest.path}", file=sys.stderr)
+
+    result = run_suite(
+        manifest,
+        jobs=jobs,
+        timeout=timeout,
+        retries=retries,
+        resume=bool(args.resume),
+        progress=progress,
+    )
+    print(format_suite_report(result.records, result.wall_seconds))
+    return 0 if result.ok else 1
+
+
 def _cmd_list(_args) -> int:
     from repro.workloads import all_workloads
 
@@ -232,6 +336,7 @@ _COMMANDS = {
     "verify": _cmd_verify,
     "deps": _cmd_deps,
     "list": _cmd_list,
+    "suite": _cmd_suite,
 }
 
 

@@ -49,7 +49,17 @@ class GeneratedCode:
     python_source: str
     tsched: TiledSchedule
     traced: bool = False
-    _func: Optional[Callable] = field(default=None, repr=False)
+    _func: Optional[Callable] = field(default=None, repr=False, compare=False)
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the compiled handle is a cache, not state.
+
+        ``exec``-produced functions cannot cross process boundaries; the
+        :attr:`function` property rebuilds one lazily from the source on the
+        other side, so results survive pickling unchanged."""
+        state = self.__dict__.copy()
+        state["_func"] = None
+        return state
 
     @property
     def function(self) -> Callable:

@@ -113,6 +113,32 @@ class SchedulerStats:
     #: dedup savings, ...) across every lexmin issued by this scheduler
     solve: SolveStats = field(default_factory=SolveStats)
 
+    def as_dict(self) -> dict:
+        """JSON-serializable form (suite manifests, ``--stats`` plumbing)."""
+        return {
+            "ilp_solves": self.ilp_solves,
+            "ilp_variables_max": self.ilp_variables_max,
+            "hyperplanes_found": self.hyperplanes_found,
+            "cuts": self.cuts,
+            "sat_batched": self.sat_batched,
+            "solve_seconds": self.solve_seconds,
+            "backends_used": sorted(self.backends_used),
+            "solve": self.solve.as_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SchedulerStats":
+        return cls(
+            ilp_solves=data["ilp_solves"],
+            ilp_variables_max=data["ilp_variables_max"],
+            hyperplanes_found=data["hyperplanes_found"],
+            cuts=data["cuts"],
+            sat_batched=data["sat_batched"],
+            solve_seconds=data["solve_seconds"],
+            backends_used=set(data["backends_used"]),
+            solve=SolveStats.from_dict(data["solve"]),
+        )
+
 
 class PlutoScheduler:
     def __init__(

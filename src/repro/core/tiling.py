@@ -75,6 +75,75 @@ class TiledSchedule:
     def tile_levels(self) -> list[int]:
         return [i for i, r in enumerate(self.rows) if r.kind == "tile"]
 
+    # -- serialization ----------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-serializable form, the :meth:`Schedule.to_dict` twin."""
+        return {
+            "program": self.program.name,
+            "rows": [
+                {
+                    "kind": row.kind,
+                    "tile_size": row.tile_size,
+                    "parallel": row.parallel,
+                    "band_role": row.band_role,
+                    "exprs": {
+                        name: list(expr.coeffs)
+                        for name, expr in row.exprs.items()
+                    },
+                }
+                for row in self.rows
+            ],
+            "bands": [
+                {
+                    "start": b.start,
+                    "end": b.end,
+                    "permutable": b.permutable,
+                    "concurrent_start": b.concurrent_start,
+                }
+                for b in self.bands
+            ],
+            "source_schedule": (
+                None
+                if self.source_schedule is None
+                else self.source_schedule.to_dict()
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, program: Program, data: dict) -> "TiledSchedule":
+        """Rebuild a tiled schedule exported by :meth:`to_dict`."""
+        if data.get("program") != program.name:
+            raise ValueError(
+                f"tiled schedule was exported for {data.get('program')!r}, "
+                f"not {program.name!r}"
+            )
+        from repro.polyhedra import AffExpr
+
+        out = cls(program)
+        for rd in data["rows"]:
+            exprs = {
+                name: AffExpr(program.statement(name).space, coeffs)
+                for name, coeffs in rd["exprs"].items()
+            }
+            out.rows.append(
+                TiledRow(
+                    rd["kind"],
+                    exprs,
+                    tile_size=rd["tile_size"],
+                    parallel=rd["parallel"],
+                    band_role=rd["band_role"],
+                )
+            )
+        out.bands = [
+            Band(b["start"], b["end"], b["permutable"], b["concurrent_start"])
+            for b in data.get("bands", [])
+        ]
+        src = data.get("source_schedule")
+        if src is not None:
+            out.source_schedule = Schedule.from_dict(program, src)
+        return out
+
 
 def _as_tiled_row(row: ScheduleRow) -> TiledRow:
     return TiledRow(row.kind, dict(row.exprs), parallel=row.parallel)

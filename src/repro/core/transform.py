@@ -189,6 +189,19 @@ class Schedule:
                 sched.rank[stmt.name] = FMatrix(rows).rank()
         return sched
 
+    def __eq__(self, other) -> bool:
+        """Structural equality: same program, rows, and bands.
+
+        ``rank`` is derived bookkeeping and deliberately excluded."""
+        return (
+            isinstance(other, Schedule)
+            and self.program == other.program
+            and self.rows == other.rows
+            and self.bands == other.bands
+        )
+
+    __hash__ = None
+
     def pretty(self) -> str:
         lines = [f"schedule for {self.program.name} (depth {self.depth}):"]
         for i, row in enumerate(self.rows):

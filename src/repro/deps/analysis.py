@@ -64,6 +64,10 @@ class DepStats:
         self.fm_saved += other.fm_saved
         self.analysis_seconds += other.analysis_seconds
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "DepStats":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
     def as_dict(self) -> dict[str, float]:
         return {
             "pairs_tested": self.pairs_tested,

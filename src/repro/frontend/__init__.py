@@ -10,6 +10,7 @@ from repro.frontend.builder import ProgramBuilder, parse_condition
 from repro.frontend.exprs import AffineSyntaxError, parse_affine
 from repro.frontend.ir import Access, Program, Statement
 from repro.frontend.parser import ParseError, parse_program
+from repro.frontend.serialize import program_from_dict, program_to_dict
 
 __all__ = [
     "Access",
@@ -23,6 +24,8 @@ __all__ = [
     "parse_affine",
     "parse_condition",
     "parse_program",
+    "program_from_dict",
+    "program_to_dict",
     "split_assignment",
     "to_python",
 ]

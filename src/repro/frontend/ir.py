@@ -144,6 +144,21 @@ class Program:
     def __len__(self) -> int:
         return len(self.statements)
 
+    def __eq__(self, other) -> bool:
+        """Structural equality (used by serialization round-trip checks)."""
+        return (
+            isinstance(other, Program)
+            and self.name == other.name
+            and self.params == other.params
+            and self.param_min == other.param_min
+            and self.statements == other.statements
+        )
+
+    # Name-based hash: consistent with __eq__ (equal programs share a name)
+    # while keeping Program usable in identity-flavored dicts.
+    def __hash__(self) -> int:
+        return hash(self.name)
+
     def __str__(self) -> str:
         lines = [f"program {self.name}({', '.join(self.params)}):"]
         lines += [f"  {s}" for s in self.statements]

@@ -198,6 +198,10 @@ class SolveStats:
         self.models_reused += other.models_reused
         self.solve_seconds += other.solve_seconds
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "SolveStats":
+        return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
+
     def as_dict(self) -> dict[str, float]:
         return {
             "simplex_pivots": self.simplex_pivots,

@@ -15,6 +15,8 @@ and a per-stage :class:`TimingBreakdown`.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -37,16 +39,29 @@ from repro.deps import DependenceGraph, DepStats, compute_dependences
 from repro.frontend.ir import Program
 from repro.polyhedra.cache import cache_disabled
 
-__all__ = ["PipelineOptions", "TimingBreakdown", "OptimizationResult", "optimize"]
+__all__ = [
+    "PipelineOptions",
+    "TimingBreakdown",
+    "OptimizationResult",
+    "RESULT_FORMAT_VERSION",
+    "optimize",
+]
+
+#: bumped whenever OptimizationResult.to_json()'s shape changes incompatibly
+RESULT_FORMAT_VERSION = 1
 
 
-@dataclass
+@dataclass(kw_only=True)
 class PipelineOptions:
     """Pipeline configuration (the paper's command-line flags).
 
     ``--tile --parallel`` are the paper's defaults for all benchmarks;
     ``--iss`` and ``--partlbtile`` (diamond) are enabled for the periodic
     stencil suite.
+
+    All fields are keyword-only: positional construction would silently
+    re-bind meaning whenever a field is added, and options cross process
+    boundaries (suite manifests) where that ambiguity is fatal.
     """
 
     algorithm: str = "plutoplus"      # "pluto" | "plutoplus"
@@ -92,6 +107,18 @@ class PipelineOptions:
             fuse=self.fuse,
         )
 
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PipelineOptions":
+        """Inverse of :meth:`as_dict`; unknown keys are rejected loudly."""
+        known = set(cls.__dataclass_fields__)
+        extra = set(data) - known
+        if extra:
+            raise ValueError(f"unknown PipelineOptions fields: {sorted(extra)}")
+        return cls(**data)
+
 
 @dataclass
 class TimingBreakdown:
@@ -127,6 +154,16 @@ class TimingBreakdown:
             "total": self.total,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "TimingBreakdown":
+        return cls(
+            dependence_analysis=data["dependence_analysis"],
+            auto_transformation=data["auto_transformation"],
+            code_generation=data["code_generation"],
+            misc=data["misc"],
+            ilp_solve=data["ilp_solve"],
+        )
+
 
 @dataclass
 class OptimizationResult:
@@ -151,6 +188,87 @@ class OptimizationResult:
             f"  timing: {self.timing.as_dict()}",
         ]
         return "\n".join(lines)
+
+    # -- serialization ----------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialize the full result as a JSON string.
+
+        Everything is structural — programs, schedules, generated source,
+        timings, solver/dependence counters — so results written by a suite
+        worker land in manifests unchanged and :meth:`from_json` rebuilds an
+        object equal to the original.  The compiled kernel handle is a cache
+        and is rebuilt lazily on first use after deserialization.
+        """
+        from repro.frontend.serialize import program_to_dict
+
+        payload = {
+            "version": RESULT_FORMAT_VERSION,
+            "program": program_to_dict(self.program),
+            "source_program": program_to_dict(self.source_program),
+            "schedule": self.schedule.to_dict(),
+            "tiled": self.tiled.to_dict(),
+            "code": {
+                "python_source": self.code.python_source,
+                "traced": self.code.traced,
+            },
+            "timing": self.timing.as_dict(),
+            "scheduler_stats": (
+                None if self.scheduler_stats is None
+                else self.scheduler_stats.as_dict()
+            ),
+            "dep_stats": (
+                None if self.dep_stats is None else self.dep_stats.as_dict()
+            ),
+            "used_iss": self.used_iss,
+            "used_diamond": self.used_diamond,
+            "options": None if self.options is None else self.options.as_dict(),
+        }
+        return json.dumps(payload)
+
+    @classmethod
+    def from_json(cls, text: str) -> "OptimizationResult":
+        """Inverse of :meth:`to_json`."""
+        from repro.codegen import GeneratedCode
+        from repro.core.scheduler import SchedulerStats
+        from repro.deps import DepStats
+        from repro.frontend.serialize import program_from_dict
+
+        data = json.loads(text)
+        version = data.get("version")
+        if version != RESULT_FORMAT_VERSION:
+            raise ValueError(
+                f"result serialized with format v{version}, "
+                f"this build reads v{RESULT_FORMAT_VERSION}"
+            )
+        program = program_from_dict(data["program"])
+        source_program = program_from_dict(data["source_program"])
+        tiled = TiledSchedule.from_dict(program, data["tiled"])
+        code = GeneratedCode(
+            data["code"]["python_source"], tiled, traced=data["code"]["traced"]
+        )
+        return cls(
+            program=program,
+            source_program=source_program,
+            schedule=Schedule.from_dict(program, data["schedule"]),
+            tiled=tiled,
+            code=code,
+            timing=TimingBreakdown.from_dict(data["timing"]),
+            scheduler_stats=(
+                None if data["scheduler_stats"] is None
+                else SchedulerStats.from_dict(data["scheduler_stats"])
+            ),
+            dep_stats=(
+                None if data["dep_stats"] is None
+                else DepStats.from_dict(data["dep_stats"])
+            ),
+            used_iss=data["used_iss"],
+            used_diamond=data["used_diamond"],
+            options=(
+                None if data["options"] is None
+                else PipelineOptions.from_dict(data["options"])
+            ),
+        )
 
 
 def optimize(

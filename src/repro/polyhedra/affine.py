@@ -196,6 +196,11 @@ class AffExpr:
     def __hash__(self) -> int:
         return hash((self.space, self.coeffs))
 
+    def __reduce__(self):
+        # Immutable __slots__ class: default unpickling would go through
+        # __setattr__, which raises.  Rebuild through the constructor.
+        return (AffExpr, (self.space, self.coeffs))
+
     # -- rebasing ------------------------------------------------------------------
 
     def rebase(self, target: Space, rename: Mapping[str, str] | None = None) -> "AffExpr":

@@ -80,6 +80,10 @@ class Constraint:
     def __hash__(self) -> int:
         return hash((self.expr, self.equality))
 
+    def __reduce__(self):
+        # Immutable __slots__ class (see AffExpr.__reduce__).
+        return (Constraint, (self.expr, self.equality))
+
     def __str__(self) -> str:
         op = "==" if self.equality else ">="
         return f"{self.expr} {op} 0"

@@ -16,6 +16,7 @@ __all__ = [
     "format_table",
     "format_solve_stats",
     "format_dep_stats",
+    "format_suite_report",
     "normalized_breakdown",
     "ascii_series",
 ]
@@ -79,6 +80,92 @@ def format_dep_stats(stats: Mapping[str, float], indent: str = "  ") -> str:
     up under ``--stats``.
     """
     return format_solve_stats(stats, indent=indent)
+
+
+_SUITE_STAGES = (
+    ("dependence_analysis", "deps"),
+    ("auto_transformation", "transform"),
+    ("code_generation", "codegen"),
+    ("misc", "misc"),
+)
+
+
+def format_suite_report(records: Sequence[Mapping], wall_seconds: Optional[float] = None) -> str:
+    """Render suite run records as the paper-style report.
+
+    Two tables over the successful runs — the per-stage time breakdown
+    (Table 3 / Fig. 5: absolute seconds plus the fraction of total spent in
+    automatic transformation) and the schedule-properties summary — followed
+    by a failures section when any run degraded to a ``RunFailure``.
+    """
+    ok = [r for r in records if r.get("status") == "ok"]
+    failed = [r for r in records if r.get("status") == "failure"]
+    blocks: list[str] = []
+
+    if ok:
+        time_rows = []
+        for r in ok:
+            t = r["timing"]
+            frac = normalized_breakdown(
+                {k: t[k] for k, _ in _SUITE_STAGES}
+            )["auto_transformation"]
+            time_rows.append(
+                [r["run_id"]]
+                + [t[k] for k, _ in _SUITE_STAGES]
+                + [t["total"], f"{100 * frac:.0f}%"]
+            )
+        time_rows.append(
+            ["geomean"]
+            + [geomean([r["timing"][k] for r in ok]) for k, _ in _SUITE_STAGES]
+            + [geomean([r["timing"]["total"] for r in ok]), ""]
+        )
+        blocks.append("per-stage time (seconds):")
+        blocks.append(
+            format_table(
+                ["run"] + [label for _, label in _SUITE_STAGES]
+                + ["total", "transform%"],
+                time_rows,
+            )
+        )
+
+        prop_rows = []
+        for r in ok:
+            p = r["schedule_properties"]
+            prop_rows.append([
+                r["run_id"],
+                p["depth"],
+                len(p["bands"]),
+                p["max_band_width"],
+                ",".join(str(i) for i in p["parallel_levels"]) or "-",
+                "yes" if p["concurrent_start"] else "no",
+                "yes" if p["used_iss"] else "no",
+                "yes" if p["used_diamond"] else "no",
+            ])
+        blocks.append("")
+        blocks.append("schedule properties:")
+        blocks.append(
+            format_table(
+                ["run", "depth", "bands", "bandw", "par-levels",
+                 "concur", "iss", "diamond"],
+                prop_rows,
+            )
+        )
+
+    if failed:
+        blocks.append("")
+        blocks.append(f"failures ({len(failed)}):")
+        for r in failed:
+            f = r["failure"]
+            blocks.append(
+                f"  {f['run_id']}: {f['kind']} after {f['attempts']} "
+                f"attempt(s), {f['elapsed']:.1f}s"
+            )
+
+    counts = f"{len(ok)} ok, {len(failed)} failed, {len(records)} total"
+    tail = f"; wall {wall_seconds:.1f}s" if wall_seconds is not None else ""
+    blocks.append("")
+    blocks.append(f"suite: {counts}{tail}")
+    return "\n".join(blocks)
 
 
 def normalized_breakdown(parts: Mapping[str, float]) -> dict[str, float]:

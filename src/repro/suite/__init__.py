@@ -1,0 +1,30 @@
+"""Parallel suite-execution engine.
+
+``repro suite`` fans the registered workload matrix (workload ×
+:class:`~repro.pipeline.PipelineOptions` variants) out over a pool of
+worker processes, with a per-run timeout, bounded retry on crash/hang, and
+an on-disk manifest (``runs/<suite-id>/manifest.json`` plus one JSON record
+per run).  A failed run degrades to a structured :class:`RunFailure`
+record; it never aborts the suite.
+
+The engine only exists because the public API is picklable: run inputs are
+``(workload name, options dict)`` pairs and run outputs are JSON records
+derived from :class:`~repro.pipeline.OptimizationResult`, so everything
+crosses process boundaries unchanged.  See ``docs/INTERNALS.md``.
+"""
+
+from repro.suite.failures import RunFailure
+from repro.suite.manifest import MANIFEST_VERSION, SuiteManifest
+from repro.suite.matrix import VARIANTS, RunSpec, build_matrix
+from repro.suite.runner import SuiteResult, run_suite
+
+__all__ = [
+    "MANIFEST_VERSION",
+    "RunFailure",
+    "RunSpec",
+    "SuiteManifest",
+    "SuiteResult",
+    "VARIANTS",
+    "build_matrix",
+    "run_suite",
+]

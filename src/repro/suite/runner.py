@@ -1,0 +1,271 @@
+"""The parallel suite engine: bounded worker slots, timeouts, retries.
+
+Each run executes ``optimize(workload, options)`` in its own worker
+process and reports a JSON-shaped record back over a pipe.  The parent is
+a single-threaded event loop over ``multiprocessing.connection.wait``:
+
+* a worker that *reports* is recorded (``ok`` or ``error``);
+* a worker that *dies silently* (signal, hard exit) is a ``crash``;
+* a worker that *outlives its deadline* is killed and is a ``timeout``;
+
+crashes and timeouts are retried on a fresh worker up to ``retries``
+times; every terminal outcome — success or :class:`RunFailure` — is
+persisted to the manifest immediately, so the suite degrades gracefully
+and ``--resume`` picks up from exactly what finished.
+
+Workers are forked where available (Linux): the child inherits the loaded
+workload registry and warm polyhedral caches, which is both faster than a
+cold import and what lets tests inject hostile workloads.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, field
+from multiprocessing.connection import wait as conn_wait
+from typing import Callable, Optional
+
+from repro.suite.failures import RunFailure
+from repro.suite.manifest import SuiteManifest
+from repro.suite.matrix import RunSpec
+
+__all__ = ["SuiteResult", "run_suite"]
+
+DEFAULT_TIMEOUT = 900.0
+DEFAULT_RETRIES = 1
+
+
+def _mp_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# -- worker side -------------------------------------------------------------
+
+def _ok_record(spec: RunSpec, result) -> dict:
+    schedule = result.schedule
+    return {
+        "run_id": spec.run_id,
+        "workload": spec.workload,
+        "variant": spec.variant,
+        "options": spec.options.as_dict(),
+        "status": "ok",
+        "schedule": schedule.to_dict(),
+        "schedule_properties": {
+            "depth": schedule.depth,
+            "bands": [str(b) for b in schedule.bands],
+            "max_band_width": max((b.width for b in schedule.bands), default=0),
+            "parallel_levels": [
+                i for i, r in enumerate(schedule.rows)
+                if r.kind == "loop" and r.parallel
+            ],
+            "concurrent_start": any(b.concurrent_start for b in schedule.bands),
+            "tiled_levels": len(result.tiled.tile_levels()),
+            "used_iss": result.used_iss,
+            "used_diamond": result.used_diamond,
+        },
+        "timing": result.timing.as_dict(),
+        "scheduler_stats": (
+            None if result.scheduler_stats is None
+            else result.scheduler_stats.as_dict()
+        ),
+        "dep_stats": (
+            None if result.dep_stats is None else result.dep_stats.as_dict()
+        ),
+    }
+
+
+def _worker_entry(spec_dict: dict, conn) -> None:
+    """Child process body: run one spec, report exactly one message."""
+    try:
+        from repro.pipeline import optimize
+
+        spec = RunSpec.from_dict(spec_dict)
+        result = optimize(spec.workload, spec.options)
+        conn.send(("ok", _ok_record(spec, result)))
+    except BaseException:
+        # A raising pipeline is a structured outcome, not a crash.
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass  # parent gone or pipe broken: dying reads as a crash
+    finally:
+        conn.close()
+
+
+# -- parent side -------------------------------------------------------------
+
+@dataclass
+class _Live:
+    spec: RunSpec
+    attempt: int
+    elapsed_before: float      # wall time burned by earlier attempts
+    proc: object
+    conn: object
+    started: float
+
+    def deadline(self, timeout: float) -> float:
+        return self.started + timeout
+
+
+@dataclass
+class SuiteResult:
+    """What a suite execution produced (also all persisted on disk)."""
+
+    manifest: SuiteManifest
+    records: list[dict] = field(default_factory=list)
+    failures: list[RunFailure] = field(default_factory=list)
+    skipped: list[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+
+def _kill(proc) -> None:
+    proc.terminate()
+    proc.join(2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+
+
+def run_suite(
+    manifest: SuiteManifest,
+    *,
+    jobs: int = 1,
+    timeout: float = DEFAULT_TIMEOUT,
+    retries: int = DEFAULT_RETRIES,
+    resume: bool = False,
+    progress: Optional[Callable[[str], None]] = None,
+) -> SuiteResult:
+    """Execute the manifest's matrix; never raises for a failing run.
+
+    ``retries`` bounds *re*-attempts after a crash or timeout (so a run is
+    tried at most ``1 + retries`` times; pipeline exceptions are
+    deterministic and are not retried).  With ``resume``, runs already
+    recorded ``ok`` in the manifest are skipped.
+    """
+    say = progress or (lambda msg: None)
+    ctx = _mp_context()
+    t_start = time.perf_counter()
+    out = SuiteResult(manifest)
+
+    done = manifest.completed_ok() if resume else set()
+    pending: deque[tuple[RunSpec, int, float]] = deque()
+    for spec in manifest.specs:
+        if spec.run_id in done:
+            out.skipped.append(spec.run_id)
+            out.records.append(manifest.load_record(spec.run_id))
+        else:
+            pending.append((spec, 1, 0.0))
+    if out.skipped:
+        say(f"resume: skipping {len(out.skipped)} completed run(s)")
+
+    jobs = max(1, int(jobs))
+    live: dict[object, _Live] = {}
+
+    def spawn(spec: RunSpec, attempt: int, elapsed_before: float) -> None:
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_worker_entry,
+            args=(spec.to_dict(), child_conn),
+            name=f"repro-suite-{spec.run_id}",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        live[parent_conn] = _Live(
+            spec, attempt, elapsed_before, proc, parent_conn, time.perf_counter()
+        )
+        say(f"start {spec.run_id} (attempt {attempt}, pid {proc.pid})")
+
+    def settle(run: _Live, kind: str, message: str) -> None:
+        """A crash/timeout/error outcome: retry or record a RunFailure."""
+        elapsed = run.elapsed_before + (time.perf_counter() - run.started)
+        retryable = kind in ("crash", "timeout") and run.attempt <= retries
+        if retryable:
+            say(f"retry {run.spec.run_id} after {kind} "
+                f"(attempt {run.attempt} of {1 + retries})")
+            pending.append((run.spec, run.attempt + 1, elapsed))
+            return
+        failure = RunFailure(
+            run_id=run.spec.run_id,
+            workload=run.spec.workload,
+            variant=run.spec.variant,
+            kind=kind,
+            message=message,
+            attempts=run.attempt,
+            elapsed=elapsed,
+        )
+        record = {
+            "run_id": run.spec.run_id,
+            "workload": run.spec.workload,
+            "variant": run.spec.variant,
+            "options": run.spec.options.as_dict(),
+            "status": "failure",
+            "attempts": run.attempt,
+            "elapsed": elapsed,
+            "failure": failure.to_dict(),
+        }
+        manifest.write_record(record)
+        out.failures.append(failure)
+        out.records.append(record)
+        say(f"FAIL {failure}")
+
+    def finish_ok(run: _Live, record: dict) -> None:
+        elapsed = run.elapsed_before + (time.perf_counter() - run.started)
+        record["attempts"] = run.attempt
+        record["elapsed"] = elapsed
+        record["worker_pid"] = run.proc.pid
+        manifest.write_record(record)
+        out.records.append(record)
+        say(f"ok {run.spec.run_id} in {elapsed:.1f}s")
+
+    try:
+        while pending or live:
+            while pending and len(live) < jobs:
+                spawn(*pending.popleft())
+
+            now = time.perf_counter()
+            next_deadline = min(r.deadline(timeout) for r in live.values())
+            ready = conn_wait(
+                list(live), timeout=max(0.0, next_deadline - now) + 0.01
+            )
+
+            for conn in ready:
+                run = live.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    run.proc.join()
+                    code = run.proc.exitcode
+                    settle(run, "crash",
+                           f"worker died without reporting (exit code {code})")
+                else:
+                    run.proc.join()
+                    if status == "ok":
+                        finish_ok(run, payload)
+                    else:
+                        settle(run, "error", payload)
+                finally:
+                    conn.close()
+
+            now = time.perf_counter()
+            overdue = [r for r in live.values() if now >= r.deadline(timeout)]
+            for run in overdue:
+                del live[run.conn]
+                _kill(run.proc)
+                run.conn.close()
+                settle(run, "timeout", f"exceeded {timeout:.0f}s deadline")
+    finally:
+        for run in live.values():  # interrupted: leave no orphans
+            _kill(run.proc)
+            run.conn.close()
+
+    out.wall_seconds = time.perf_counter() - t_start
+    return out

@@ -1,0 +1,67 @@
+"""Tests for the run matrix and spec serialization."""
+
+import pytest
+
+from repro.pipeline import PipelineOptions
+from repro.suite import RunSpec, VARIANTS, build_matrix
+
+
+class TestBuildMatrix:
+    def test_periodic_default(self):
+        specs = build_matrix()
+        names = {s.workload for s in specs}
+        assert {"heat-1dp", "heat-2dp", "heat-3dp", "swim"} <= names
+        assert all(s.variant == "plutoplus" for s in specs)
+        # paper flags carried from the registry
+        heat = next(s for s in specs if s.workload == "heat-1dp")
+        assert heat.options.iss and heat.options.diamond
+
+    def test_all_categories(self):
+        assert len(build_matrix(category="all")) > len(build_matrix())
+        assert len(build_matrix(category=None)) == len(build_matrix(category="all"))
+
+    def test_filter_glob(self):
+        specs = build_matrix(filters=["heat-*"])
+        assert {s.workload for s in specs} == {"heat-1dp", "heat-2dp", "heat-3dp"}
+
+    def test_filter_matches_run_id(self):
+        specs = build_matrix(filters=["swim--plutoplus"])
+        assert [s.run_id for s in specs] == ["swim--plutoplus"]
+
+    def test_variants_cross_product(self):
+        specs = build_matrix(variants=("plutoplus", "pluto"), filters=["heat-1dp"])
+        assert {s.run_id for s in specs} == {
+            "heat-1dp--plutoplus", "heat-1dp--pluto"
+        }
+        pluto = next(s for s in specs if s.variant == "pluto")
+        assert pluto.options.algorithm == "pluto"
+
+    def test_variant_overrides_apply(self):
+        assert "notile" in VARIANTS
+        (spec,) = build_matrix(variants=("notile",), filters=["heat-1dp"])
+        assert spec.options.tile is False
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant"):
+            build_matrix(variants=("nope",))
+
+    def test_unknown_category_rejected(self):
+        with pytest.raises(ValueError, match="no workloads"):
+            build_matrix(category="nope")
+
+
+class TestRunSpec:
+    def test_round_trip(self):
+        spec = RunSpec(
+            run_id="x--plutoplus",
+            workload="x",
+            variant="plutoplus",
+            options=PipelineOptions(iss=True, tile_size=16),
+        )
+        assert RunSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_is_json_plain(self):
+        import json
+
+        (spec,) = build_matrix(filters=["heat-1dp"])
+        assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()

@@ -1,0 +1,102 @@
+"""Tests for the public `repro.api` facade and result serialization."""
+
+import pickle
+
+import pytest
+
+import repro
+from repro import api
+from repro.pipeline import OptimizationResult, PipelineOptions
+
+# three cheap workloads spanning plain / ISS / ISS+diamond pipelines
+ROUND_TRIP_WORKLOADS = ["fig1-skew", "fig3-symmetric-deps", "heat-1dp"]
+
+
+class TestFacadeSurface:
+    def test_top_level_reexports(self):
+        for name in ("optimize", "analyze_dependences", "verify",
+                     "list_workloads", "PipelineOptions", "OptimizationResult"):
+            assert getattr(repro, name) is getattr(api, name)
+
+    def test_deep_imports_still_work(self):
+        from repro.pipeline import optimize as deep_optimize
+
+        assert deep_optimize is api.optimize
+
+    def test_list_workloads(self):
+        names = api.list_workloads()
+        assert "gemm" in names and "heat-1dp" in names
+        periodic = api.list_workloads("periodic")
+        assert "heat-1dp" in periodic and "gemm" not in periodic
+
+    def test_analyze_dependences_by_name(self):
+        deps = api.analyze_dependences("fig1-skew")
+        assert deps and all(hasattr(d, "polyhedron") for d in deps)
+
+    def test_analyze_dependences_type_error(self):
+        with pytest.raises(TypeError, match="Program or a workload name"):
+            api.analyze_dependences(42)
+
+    def test_verify_result(self):
+        result = api.optimize("fig1-skew", PipelineOptions(tile=False))
+        report = api.verify(result)
+        assert report.legal
+
+    def test_verify_schedule_needs_program(self):
+        result = api.optimize("fig1-skew", PipelineOptions(tile=False))
+        with pytest.raises(TypeError, match="requires the program"):
+            api.verify(result.schedule)
+        assert api.verify(result.schedule, "fig1-skew").legal
+
+
+class TestPipelineOptionsSurface:
+    def test_keyword_only(self):
+        with pytest.raises(TypeError):
+            PipelineOptions("pluto")
+
+    def test_dict_round_trip(self):
+        opts = PipelineOptions(algorithm="pluto", iss=True, tile_size=8)
+        assert PipelineOptions.from_dict(opts.as_dict()) == opts
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown PipelineOptions fields"):
+            PipelineOptions.from_dict({"algorithm": "pluto", "warp_drive": 9})
+
+
+class TestResultSerialization:
+    @pytest.mark.parametrize("workload", ROUND_TRIP_WORKLOADS)
+    def test_json_round_trip_equal(self, workload):
+        from repro.workloads import get_workload
+
+        w = get_workload(workload)
+        result = api.optimize(workload, w.pipeline_options("plutoplus"))
+        rebuilt = OptimizationResult.from_json(result.to_json())
+        assert rebuilt == result
+
+    def test_pickle_round_trip_after_compile(self):
+        result = api.optimize("fig1-skew", PipelineOptions(tile=False))
+        assert callable(result.code.function)  # force the exec'd handle
+        rebuilt = pickle.loads(pickle.dumps(result))
+        assert rebuilt == result
+        assert callable(rebuilt.code.function)  # lazily recompiled
+
+    def test_rebuilt_kernel_executes(self):
+        import numpy as np
+
+        result = api.optimize("fig1-skew", PipelineOptions(tile=False))
+        rebuilt = OptimizationResult.from_json(result.to_json())
+        n = 6
+        a1 = np.arange(float((n + 1) * (n + 1))).reshape(n + 1, n + 1)
+        a2 = a1.copy()
+        result.code.run({"A": a1}, {"N": n})
+        rebuilt.code.run({"A": a2}, {"N": n})
+        assert np.array_equal(a1, a2)
+
+    def test_version_gate(self):
+        result = api.optimize("fig1-skew", PipelineOptions(tile=False))
+        import json
+
+        payload = json.loads(result.to_json())
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="format v999"):
+            OptimizationResult.from_json(json.dumps(payload))

@@ -105,6 +105,96 @@ class TestCLIWorkloadResolution:
         assert "repro list" in str(exc.value)
 
 
+class TestCLIVerifyExitCodes:
+    def test_verify_legal_exits_zero(self, kernel_file, capsys):
+        assert main(["verify", kernel_file, "--params", "N"]) == 0
+        assert "legal" in capsys.readouterr().out
+
+    def test_verify_illegal_schedule_exits_nonzero(
+        self, kernel_file, tmp_path, capsys
+    ):
+        # export the real schedule, then corrupt it into an illegal one by
+        # reversing every loop hyperplane (ordering all dependences backwards)
+        import json
+
+        sched_file = tmp_path / "sched.json"
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--emit", "schedule-json",
+             "-o", str(sched_file)]
+        ) == 0
+        data = json.loads(sched_file.read_text())
+        for row in data["rows"]:
+            if row["kind"] == "loop":
+                row["exprs"] = {
+                    name: [-c for c in coeffs]
+                    for name, coeffs in row["exprs"].items()
+                }
+        bad_file = tmp_path / "bad.json"
+        bad_file.write_text(json.dumps(data))
+
+        rc = main(
+            ["verify", kernel_file, "--params", "N", "--schedule", str(bad_file)]
+        )
+        assert rc == 1
+        assert "ILLEGAL" in capsys.readouterr().out
+
+    def test_verify_exported_schedule_exits_zero(
+        self, kernel_file, tmp_path, capsys
+    ):
+        sched_file = tmp_path / "sched.json"
+        assert main(
+            ["opt", kernel_file, "--params", "N", "--emit", "schedule-json",
+             "-o", str(sched_file)]
+        ) == 0
+        assert main(
+            ["verify", kernel_file, "--params", "N",
+             "--schedule", str(sched_file)]
+        ) == 0
+
+    def test_verify_unreadable_schedule_exits_two(self, kernel_file, tmp_path,
+                                                   capsys):
+        bad = tmp_path / "nope.json"
+        assert main(
+            ["verify", kernel_file, "--params", "N", "--schedule", str(bad)]
+        ) == 2
+        assert "cannot load schedule" in capsys.readouterr().err
+
+
+class TestCLISuite:
+    def test_suite_runs_and_reports(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        rc = main(
+            ["suite", "--category", "motivation", "--filter", "fig1-*",
+             "--jobs", "1", "--timeout", "120", "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "per-stage time" in captured.out
+        assert "fig1-skew--plutoplus" in captured.out
+        assert "0 failed" in captured.out
+        manifests = list((tmp_path / "runs").glob("suite-*/manifest.json"))
+        assert len(manifests) == 1
+
+    def test_suite_empty_matrix_rejected(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        with pytest.raises(SystemExit) as exc:
+            main(["suite", "--filter", "no-such-workload-*", "--quiet"])
+        assert "matrix is empty" in str(exc.value)
+
+    def test_suite_resume_skips(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(
+            ["suite", "--category", "motivation", "--filter", "fig1-*",
+             "--jobs", "1", "--timeout", "120", "--quiet"]
+        ) == 0
+        capsys.readouterr()
+        (suite_dir,) = (tmp_path / "runs").glob("suite-*")
+        rc = main(["suite", "--resume", str(suite_dir), "--jobs", "1"])
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "skipping 1 completed run(s)" in captured.err
+
+
 class TestCLIDepsCache:
     def test_no_deps_cache_flag(self, kernel_file, capsys):
         assert main(
