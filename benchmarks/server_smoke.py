@@ -1,0 +1,162 @@
+"""Serving-daemon smoke: concurrency, cache effectiveness, clean shutdown.
+
+Starts one real ``repro serve`` daemon (a subprocess, exactly as deployed),
+then drives it the way a build farm would:
+
+1. **cold pass** — 16 concurrent clients requesting 4 distinct workloads
+   (the motivation kernels: small enough for CI, real pipelines all the
+   same).  Single-flight means 4 computations; the other 12 coalesce.
+2. **warm pass** — the same 16 requests again.  Everything must be served
+   from cache (the gate is hit rate >= 0.5; the expected value is 1.0),
+   and every warm payload must equal its cold counterpart.
+3. **shutdown** — SIGTERM, which must drain cleanly: exit code 0 and the
+   socket removed.
+
+The metrics snapshot plus per-pass latencies land in a JSON artifact for
+CI to upload.  Exits non-zero on any failed request, a warm-pass hit rate
+below the gate, a warm/cold payload mismatch, or an unclean shutdown.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/server_smoke.py [-o BENCH_server_smoke.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+WORKLOADS = [
+    "fig1-skew",
+    "fig2-symmetric-consumer",
+    "fig3-symmetric-deps",
+    "fig4-periodic-stencil",
+]
+
+CLIENTS = 16
+
+HIT_RATE_GATE = 0.5
+
+
+def _drive_pass(socket_path: str, label: str) -> list[dict]:
+    """CLIENTS concurrent requests, one client (connection) each."""
+    from repro.server import ServerClient
+
+    responses: list = [None] * CLIENTS
+
+    def ask(i: int) -> None:
+        workload = WORKLOADS[i % len(WORKLOADS)]
+        t0 = time.perf_counter()
+        with ServerClient(socket_path=socket_path, timeout=300) as client:
+            response = client.optimize(workload)
+        responses[i] = {
+            "workload": workload,
+            "status": response.get("status"),
+            "cache": response.get("cache"),
+            "seconds": round(time.perf_counter() - t0, 6),
+            "result": response.get("result"),
+        }
+
+    threads = [threading.Thread(target=ask, args=(i,)) for i in range(CLIENTS)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=600)
+    bad = [r for r in responses if r is None or r["status"] != "ok"]
+    if bad:
+        raise SystemExit(f"{label} pass: {len(bad)} request(s) failed: {bad[:3]}")
+    print(f"{label} pass: {CLIENTS} requests ok, tags "
+          f"{sorted({r['cache'] for r in responses})}")
+    return responses
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default="BENCH_server_smoke.json")
+    parser.add_argument("--jobs", type=int, default=4)
+    args = parser.parse_args(argv)
+
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        socket_path = os.path.join(tmp, "repro.sock")
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve",
+             "--socket", socket_path, "--jobs", str(args.jobs),
+             "--cache-dir", os.path.join(tmp, "cache"), "--report"],
+            env=dict(os.environ), stderr=subprocess.PIPE, text=True,
+        )
+        try:
+            deadline = time.time() + 60
+            while not os.path.exists(socket_path):
+                if daemon.poll() is not None:
+                    raise SystemExit(
+                        f"daemon died on startup:\n{daemon.stderr.read()}"
+                    )
+                if time.time() > deadline:
+                    raise SystemExit("daemon never bound its socket")
+                time.sleep(0.05)
+
+            cold = _drive_pass(socket_path, "cold")
+            warm = _drive_pass(socket_path, "warm")
+
+            hits = [r for r in warm if r["cache"].startswith("hit")]
+            hit_rate = len(hits) / len(warm)
+            print(f"warm pass hit rate: {hit_rate:.2f} (gate {HIT_RATE_GATE})")
+            if hit_rate < HIT_RATE_GATE:
+                raise SystemExit(
+                    f"warm hit rate {hit_rate:.2f} below gate {HIT_RATE_GATE}"
+                )
+
+            cold_by_workload = {r["workload"]: r["result"] for r in cold}
+            for r in warm:
+                if r["result"] != cold_by_workload[r["workload"]]:
+                    raise SystemExit(
+                        f"warm payload for {r['workload']} differs from cold"
+                    )
+
+            from repro.server import ServerClient
+
+            with ServerClient(socket_path=socket_path, timeout=60) as client:
+                stats = client.stats()["stats"]
+
+            daemon.send_signal(signal.SIGTERM)
+            _, err = daemon.communicate(timeout=120)
+            if daemon.returncode != 0:
+                raise SystemExit(
+                    f"daemon exited {daemon.returncode} on SIGTERM:\n{err}"
+                )
+            if os.path.exists(socket_path):
+                raise SystemExit("daemon left its socket behind")
+            report_line = [l for l in err.splitlines() if "served" in l]
+            print(f"clean shutdown; {report_line[0] if report_line else ''}")
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()
+
+    def strip(rs):  # payloads are large; the artifact keeps the shape only
+        return [{k: r[k] for k in ("workload", "status", "cache", "seconds")}
+                for r in rs]
+
+    artifact = {
+        "clients": CLIENTS,
+        "workloads": WORKLOADS,
+        "cold": strip(cold),
+        "warm": strip(warm),
+        "warm_hit_rate": round(hit_rate, 4),
+        "stats": stats,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(artifact, fh, indent=1)
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

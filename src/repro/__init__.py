@@ -26,6 +26,8 @@ internal; deep imports keep working but carry no stability promise
 (``docs/API.md``).
 """
 
+from importlib import metadata as _metadata
+
 from repro.api import (
     OptimizationResult,
     PipelineOptions,
@@ -38,7 +40,12 @@ from repro.api import (
 )
 from repro.frontend import ProgramBuilder, parse_program
 
-__version__ = "1.1.0"
+try:
+    # Installed builds answer from package metadata, so `repro --version`,
+    # the daemon's response header, and `pip show repro` can never disagree.
+    __version__ = _metadata.version("repro")
+except _metadata.PackageNotFoundError:  # running from a source checkout
+    __version__ = "1.2.0"
 
 __all__ = [
     "OptimizationResult",

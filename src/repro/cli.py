@@ -9,13 +9,17 @@ Usage::
     python -m repro deps kernel.c --params N
     python -m repro list
     python -m repro suite --jobs 4 --filter 'heat-*'
+    python -m repro serve --socket /tmp/repro.sock --jobs 4 --cache-dir cache
+    python -m repro client opt --workload heat-2dp --socket /tmp/repro.sock
 
 ``opt`` parses an affine C-like loop nest (or loads a registered workload),
 runs the full pipeline, and emits the transformed code; ``verify`` runs the
 independent legality checker on the computed schedule (nonzero exit on an
 illegal schedule); ``deps`` prints the dependence analysis; ``list``
 enumerates registered workloads; ``suite`` fans the workload matrix out
-over worker processes and writes a ``runs/<suite-id>/`` manifest.
+over worker processes and writes a ``runs/<suite-id>/`` manifest; ``serve``
+runs the pipeline as a persistent daemon with a content-addressed schedule
+cache, and ``client`` talks to it.
 """
 
 from __future__ import annotations
@@ -34,9 +38,14 @@ __all__ = ["main", "build_parser"]
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Pluto+ reproduction: polyhedral source-to-source optimizer",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -121,6 +130,73 @@ def build_parser() -> argparse.ArgumentParser:
                             "directory, skipping completed runs")
     suite.add_argument("--quiet", action="store_true",
                        help="suppress per-run progress lines")
+
+    def add_endpoint_args(p):
+        p.add_argument("--socket", metavar="PATH",
+                       help="Unix socket path (preferred)")
+        p.add_argument("--host", default="127.0.0.1",
+                       help="TCP bind/connect host (default 127.0.0.1)")
+        p.add_argument("--port", type=int, help="TCP port instead of --socket")
+
+    serve = sub.add_parser(
+        "serve",
+        help="run optimize() as a persistent daemon with a schedule cache",
+    )
+    add_endpoint_args(serve)
+    serve.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="concurrent worker processes (default: cpu count)")
+    serve.add_argument("--timeout", type=float, default=None, metavar="S",
+                       help="per-request worker deadline in seconds "
+                            "(default 900)")
+    serve.add_argument("--backlog", type=int, default=None, metavar="N",
+                       help="queued misses beyond --jobs before requests "
+                            "get a busy response (default 2x jobs)")
+    serve.add_argument("--cache-dir", default=".repro-cache", metavar="DIR",
+                       help="on-disk schedule cache root (default "
+                            ".repro-cache; '' disables the disk tier)")
+    serve.add_argument("--mem-entries", type=int, default=None, metavar="N",
+                       help="in-memory cache entries (default 128)")
+    serve.add_argument("--report", action="store_true",
+                       help="print a metrics summary line on exit")
+
+    client = sub.add_parser("client", help="talk to a running repro daemon")
+    csub = client.add_subparsers(dest="client_command", required=True)
+
+    copt = csub.add_parser("opt", help="request one optimization")
+    add_endpoint_args(copt)
+    copt.add_argument("source", nargs="?",
+                      help="C-like loop nest file or registered workload name")
+    copt.add_argument("--workload", help="registered workload name")
+    copt.add_argument("--params", nargs="*", default=[],
+                      help="program parameters (file input only)")
+    copt.add_argument("--param-min", type=int, default=2,
+                      help="context lower bound on every parameter (default 2)")
+    copt.add_argument("--algorithm", choices=("pluto", "plutoplus"),
+                      default=None)
+    copt.add_argument("--tile", type=int, default=None, metavar="SIZE",
+                      help="tile size (0 disables tiling)")
+    copt.add_argument("--iss", action="store_true", default=None,
+                      help="enable index-set splitting")
+    copt.add_argument("--diamond", action="store_true", default=None,
+                      help="enable diamond tiling (--partlbtile)")
+    copt.add_argument("--bound", type=int, default=None,
+                      help="Pluto+ coefficient bound b")
+    copt.add_argument("--fuse", choices=("smart", "max", "no"), default=None)
+    copt.add_argument("--ilp-backend", choices=("auto", "exact", "highs"),
+                      default=None)
+    copt.add_argument("--emit", choices=("schedule-json", "json", "summary"),
+                      default="schedule-json",
+                      help="what to print: the schedule export (default), "
+                           "the full result payload, or a one-line summary")
+    copt.add_argument("-o", "--output", help="write the emitted JSON to a file")
+
+    for name, text in (
+        ("stats", "print the daemon's metrics snapshot as JSON"),
+        ("ping", "check the daemon is alive (prints version skew)"),
+        ("shutdown", "ask the daemon to drain and exit"),
+    ):
+        p = csub.add_parser(name, help=text)
+        add_endpoint_args(p)
     return parser
 
 
@@ -317,6 +393,149 @@ def _cmd_suite(args) -> int:
     return 0 if result.ok else 1
 
 
+def _cmd_serve(args) -> int:
+    """Run the scheduling daemon until SIGTERM/SIGINT, then drain."""
+    import os
+
+    from repro.server import Daemon, DaemonConfig
+    from repro.server.pool import DEFAULT_TIMEOUT as SERVE_TIMEOUT
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("error: serve needs --socket PATH or --port N")
+    try:
+        config = DaemonConfig(
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+            jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
+            timeout=args.timeout if args.timeout is not None else SERVE_TIMEOUT,
+            backlog=args.backlog,
+            cache_dir=args.cache_dir or None,
+            **({} if args.mem_entries is None
+               else {"memory_entries": args.mem_entries}),
+        )
+    except ValueError as e:
+        raise SystemExit(f"error: {e}")
+    daemon = Daemon(config)
+    daemon.install_signal_handlers()
+    from repro import __version__
+
+    print(f"# repro {__version__} serving on "
+          f"{args.socket or f'{args.host}:{args.port}'} "
+          f"(jobs {config.jobs}, cache {config.cache_dir or 'memory-only'})",
+          file=sys.stderr, flush=True)
+    daemon.serve()
+    if args.report:
+        print(f"# {daemon.metrics.summary_line()}", file=sys.stderr)
+    return 0
+
+
+def _client_connect(args):
+    from repro.server import ServerClient
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("error: client needs --socket PATH or --port N")
+    try:
+        return ServerClient(
+            socket_path=args.socket, host=args.host, port=args.port
+        )
+    except OSError as e:
+        raise SystemExit(
+            f"error: cannot reach daemon at "
+            f"{args.socket or f'{args.host}:{args.port}'}: {e}"
+        )
+
+
+def _client_overrides(args) -> dict:
+    """Only the options the user explicitly set — the daemon fills in the
+    workload's paper flags underneath, exactly like local ``repro opt``."""
+    overrides: dict = {}
+    if args.algorithm is not None:
+        overrides["algorithm"] = args.algorithm
+    if args.tile is not None:
+        overrides["tile"] = args.tile != 0
+        if args.tile:
+            overrides["tile_size"] = args.tile
+    if args.iss:
+        overrides["iss"] = True
+    if args.diamond:
+        overrides["diamond"] = True
+    if args.bound is not None:
+        overrides["coeff_bound"] = args.bound
+    if args.fuse is not None:
+        overrides["fuse"] = args.fuse
+    if args.ilp_backend is not None:
+        overrides["ilp_backend"] = args.ilp_backend
+    return overrides
+
+
+def _cmd_client(args) -> int:
+    import json
+
+    if args.client_command == "opt":
+        request: dict = {}
+        name = args.workload or args.source
+        if name and not args.workload and Path(name).is_file():
+            from repro.frontend.serialize import program_to_dict
+
+            program = parse_program(
+                Path(name).read_text(), Path(name).stem,
+                params=tuple(args.params), param_min=args.param_min,
+            )
+            request["program"] = program_to_dict(program)
+        elif name:
+            request["workload"] = name
+        else:
+            raise SystemExit("either a source file or --workload is required")
+
+        with _client_connect(args) as client:
+            response = client.optimize(
+                request.get("workload"),
+                program=request.get("program"),
+                options=_client_overrides(args),
+            )
+        status = response.get("status")
+        if status == "busy":
+            print(f"busy: {response.get('message')}", file=sys.stderr)
+            return 3
+        if status != "ok":
+            print(f"error ({response.get('kind')}): "
+                  f"{response.get('message', '').strip()}", file=sys.stderr)
+            return 1
+        print(f"# cache: {response['cache']}  key: {response['key'][:16]}…  "
+              f"elapsed: {response['elapsed']:.3f}s  "
+              f"server: {response['server_version']}", file=sys.stderr)
+        if args.emit == "summary":
+            props = response["result"]["schedule"]
+            print(f"{name}: depth {len(props.get('rows', []))}, "
+                  f"cache {response['cache']}, {response['elapsed']:.3f}s")
+            return 0
+        payload = (response["result"] if args.emit == "json"
+                   else response["result"]["schedule"])
+        out = json.dumps(payload, indent=1) + "\n"
+        if args.output:
+            Path(args.output).write_text(out)
+            print(f"# wrote {args.output}", file=sys.stderr)
+        else:
+            sys.stdout.write(out)
+        return 0
+
+    with _client_connect(args) as client:
+        if args.client_command == "stats":
+            response = client.stats()
+            print(json.dumps(response.get("stats", {}), indent=1))
+        elif args.client_command == "ping":
+            from repro import __version__
+
+            response = client.ping()
+            print(f"ok: server {response['server_version']}, "
+                  f"client {__version__}, protocol {response['protocol']}")
+        else:  # shutdown
+            response = client.shutdown()
+            print(f"draining: {response.get('draining', False)}")
+    return 0 if response.get("status") == "ok" else 1
+
+
 def _cmd_list(_args) -> int:
     from repro.workloads import all_workloads
 
@@ -337,6 +556,8 @@ _COMMANDS = {
     "deps": _cmd_deps,
     "list": _cmd_list,
     "suite": _cmd_suite,
+    "serve": _cmd_serve,
+    "client": _cmd_client,
 }
 
 

@@ -39,8 +39,9 @@ class DepStats:
     bound/gcd pre-filter alone; ``cache_hits``/``cache_misses`` the memoized
     polyhedral primitive lookups (emptiness, minima, lexmin, projections)
     issued while this record was attached; ``fm_saved`` the Fourier–Motzkin
-    projection cascades answered from cache; ``analysis_seconds`` wall time
-    inside :func:`compute_dependences`.
+    projection cascades answered from cache; ``cache_evictions`` the memo
+    entries dropped by the LRU bound while attached; ``analysis_seconds``
+    wall time inside :func:`compute_dependences`.
     """
 
     pairs_tested: int = 0
@@ -49,6 +50,7 @@ class DepStats:
     cache_hits: int = 0
     cache_misses: int = 0
     fm_saved: int = 0
+    cache_evictions: int = 0
     analysis_seconds: float = 0.0
 
     @property
@@ -62,6 +64,7 @@ class DepStats:
         self.cache_hits += other.cache_hits
         self.cache_misses += other.cache_misses
         self.fm_saved += other.fm_saved
+        self.cache_evictions += other.cache_evictions
         self.analysis_seconds += other.analysis_seconds
 
     @classmethod
@@ -76,6 +79,7 @@ class DepStats:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "fm_saved": self.fm_saved,
+            "cache_evictions": self.cache_evictions,
             "analysis_seconds": self.analysis_seconds,
         }
 
@@ -341,5 +345,6 @@ def compute_dependences(
         stats.cache_hits += delta.hits
         stats.cache_misses += delta.misses
         stats.fm_saved += delta.project_hits
+        stats.cache_evictions += delta.evictions
         stats.analysis_seconds += time.perf_counter() - t_start
     return deps

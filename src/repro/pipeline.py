@@ -43,12 +43,32 @@ __all__ = [
     "PipelineOptions",
     "TimingBreakdown",
     "OptimizationResult",
+    "PIPELINE_VERSION",
     "RESULT_FORMAT_VERSION",
     "optimize",
+    "pipeline_fingerprint",
 ]
 
 #: bumped whenever OptimizationResult.to_json()'s shape changes incompatibly
 RESULT_FORMAT_VERSION = 1
+
+#: bumped whenever ``optimize()`` may emit a *different* schedule or code for
+#: the same ``(program, options)`` input — new scheduler heuristics, changed
+#: tiling defaults, codegen changes.  The serving layer's content-addressed
+#: schedule cache folds this into every key, so stale entries from an older
+#: pipeline can never be served (see ``docs/API.md``, "Cache-key contract").
+PIPELINE_VERSION = 1
+
+
+def pipeline_fingerprint() -> str:
+    """The version stamp the schedule cache mixes into every key."""
+    from repro.frontend.serialize import IR_FORMAT_VERSION
+
+    return (
+        f"pipeline-v{PIPELINE_VERSION}"
+        f"/result-v{RESULT_FORMAT_VERSION}"
+        f"/ir-v{IR_FORMAT_VERSION}"
+    )
 
 
 @dataclass(kw_only=True)

@@ -12,8 +12,12 @@ analogue of the solver-side warm-start/dedup work (`repro.ilp`).
 
 Keys are content-addressed, so no invalidation is ever needed: a mutated
 :class:`~repro.polyhedra.sets.BasicSet` simply produces a new key.  The cache
-is bounded (`max_entries` per table, cleared wholesale on overflow) so
-long-running processes cannot grow without bound.
+is bounded: each table is an LRU holding at most ``max_entries`` entries
+(default generous, override with ``REPRO_POLY_CACHE_CAP`` or the
+``max_entries`` constructor argument), so long-running processes — the
+serving daemon in particular — cannot grow without bound.  Evictions are
+counted in :class:`PolyCacheStats` and surface as ``cache_evictions`` in
+``DepStats``.
 
 Escape hatch: ``REPRO_DEPS_NO_CACHE=1`` (or the :func:`cache_disabled`
 context manager, used by ``--no-deps-cache``) disables both the memoization
@@ -24,8 +28,9 @@ reproducing the seed's uncached behavior bit for bit.
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = [
@@ -49,6 +54,7 @@ class PolyCacheStats:
     ``fast_rejects`` is incremented by :mod:`repro.polyhedra.fastcheck` when
     the cheap bound/gcd pre-filter proves a system empty without any LP/ILP
     call; it lives here so one snapshot captures the whole fast path.
+    ``evictions`` counts entries dropped by the per-table LRU bound.
     """
 
     empty_lookups: int = 0
@@ -60,6 +66,7 @@ class PolyCacheStats:
     project_lookups: int = 0
     project_hits: int = 0
     fast_rejects: int = 0
+    evictions: int = 0
 
     @property
     def lookups(self) -> int:
@@ -91,6 +98,7 @@ class PolyCacheStats:
             self.project_lookups,
             self.project_hits,
             self.fast_rejects,
+            self.evictions,
         )
 
     def delta_since(self, base: "PolyCacheStats") -> "PolyCacheStats":
@@ -104,6 +112,7 @@ class PolyCacheStats:
             self.project_lookups - base.project_lookups,
             self.project_hits - base.project_hits,
             self.fast_rejects - base.fast_rejects,
+            self.evictions - base.evictions,
         )
 
     def as_dict(self) -> dict[str, int]:
@@ -117,7 +126,25 @@ class PolyCacheStats:
             "project_lookups": self.project_lookups,
             "project_hits": self.project_hits,
             "fast_rejects": self.fast_rejects,
+            "evictions": self.evictions,
         }
+
+
+#: per-table LRU capacity when neither the env override nor the constructor
+#: argument is given; generous enough that single pipeline runs never evict
+DEFAULT_MAX_ENTRIES = 200_000
+
+
+def _default_max_entries() -> int:
+    raw = os.environ.get("REPRO_POLY_CACHE_CAP", "")
+    if raw:
+        try:
+            cap = int(raw)
+            if cap >= 1:
+                return cap
+        except ValueError:
+            pass
+    return DEFAULT_MAX_ENTRIES
 
 
 class PolyCache:
@@ -125,30 +152,38 @@ class PolyCache:
 
     One table per primitive; every table is keyed on values derived from the
     constraint content (see ``BasicSet.content_key``), so entries never go
-    stale.  Each table is cleared wholesale when it exceeds ``max_entries``
-    — the simplest bound that cannot change answers.
+    stale.  Each table is an LRU bounded at ``max_entries``: a hit refreshes
+    the entry, an insert past capacity evicts the least recently used —
+    eviction can only cost recomputation, never change an answer.
     """
 
-    def __init__(self, max_entries: int = 200_000):
-        self.max_entries = max_entries
+    def __init__(self, max_entries: Optional[int] = None):
+        self.max_entries = (
+            _default_max_entries() if max_entries is None else max_entries
+        )
         self.stats = PolyCacheStats()
-        self._empty: dict = {}
-        self._min: dict = {}
-        self._lexmin: dict = {}
-        self._project: dict = {}
+        self._empty: OrderedDict = OrderedDict()
+        self._min: OrderedDict = OrderedDict()
+        self._lexmin: OrderedDict = OrderedDict()
+        self._project: OrderedDict = OrderedDict()
 
     # -- generic plumbing -----------------------------------------------------
 
-    def _get(self, table: dict, key, lookups: str, hits: str):
+    def _get(self, table: OrderedDict, key, lookups: str, hits: str):
         setattr(self.stats, lookups, getattr(self.stats, lookups) + 1)
         value = table.get(key, MISS)
         if value is not MISS:
             setattr(self.stats, hits, getattr(self.stats, hits) + 1)
+            table.move_to_end(key)
         return value
 
-    def _put(self, table: dict, key, value) -> None:
-        if len(table) >= self.max_entries:
-            table.clear()
+    def _put(self, table: OrderedDict, key, value) -> None:
+        if key in table:
+            table.move_to_end(key)
+        else:
+            while len(table) >= self.max_entries:
+                table.popitem(last=False)
+                self.stats.evictions += 1
         table[key] = value
 
     # -- per-primitive accessors ----------------------------------------------

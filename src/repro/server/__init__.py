@@ -1,0 +1,46 @@
+"""Scheduling-as-a-service: a persistent daemon around ``optimize()``.
+
+``repro serve`` runs the pipeline as a long-lived service so repeated
+scheduling requests — the common case for real users, per the paper's
+compile-time argument (Table 3) and the follow-up latency work
+(arXiv:1803.10726) — amortize to a cache lookup instead of a full pipeline
+run.  The pieces:
+
+* :mod:`repro.server.protocol` — JSON-lines request/response framing over a
+  Unix or TCP socket, with a version header on every response;
+* :mod:`repro.server.cache`    — the two-tier content-addressed schedule
+  cache (in-memory LRU over an atomic on-disk store), keyed by
+  ``sha256(canonical IR + options + pipeline version)``;
+* :mod:`repro.server.pool`     — a per-request worker-process pool on the
+  shared supervision layer (:mod:`repro.workers`), with a bounded queue;
+* :mod:`repro.server.daemon`   — the socket server: single-flight request
+  coalescing, admission control with explicit busy responses, graceful
+  drain on SIGTERM;
+* :mod:`repro.server.metrics`  — hit rates, queue depth, in-flight count,
+  per-stage latency percentiles, exposed via ``stats`` requests;
+* :mod:`repro.server.client`   — the blocking client used by
+  ``repro client`` and scripts.
+
+Like :mod:`repro.suite`, everything crossing the wire is the public JSON
+surface: serialized IR from :mod:`repro.frontend.serialize` in, full
+``OptimizationResult.to_json()`` payloads out.
+"""
+
+from repro.server.cache import ScheduleCache, cache_key
+from repro.server.client import ServerClient
+from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.metrics import ServerMetrics
+from repro.server.pool import WorkerPool
+from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+
+__all__ = [
+    "Daemon",
+    "DaemonConfig",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "ScheduleCache",
+    "ServerClient",
+    "ServerMetrics",
+    "WorkerPool",
+    "cache_key",
+]

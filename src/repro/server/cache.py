@@ -1,0 +1,223 @@
+"""The two-tier content-addressed schedule cache.
+
+Tier 1 is an in-memory LRU of recently served result payloads; tier 2 is
+an on-disk store (``<cache-dir>/<k[:2]>/<key>.json``, written atomically
+via tmp + rename) that survives daemon restarts.  Both tiers are keyed by
+:func:`cache_key`:
+
+    sha256( canonical JSON of {program: serialized IR,
+                               options: resolved PipelineOptions,
+                               pipeline: pipeline_fingerprint()} )
+
+The program is the *serialized IR*, not the workload name — two names
+producing the same program share one entry, and a workload whose factory
+changes stops hitting stale entries automatically.  Options are the fully
+resolved dict (every field, not just overrides), so any option change is a
+different key.  The fingerprint folds in ``PIPELINE_VERSION`` and the
+IR/result format versions, so a pipeline that could emit different
+schedules — or payloads an old reader cannot parse — never serves old
+entries.  Content addressing means there is no invalidation protocol at
+all: stale entries are simply never looked up again, and ``cache-dir`` can
+be deleted wholesale at any time.
+
+Values are the exact ``OptimizationResult.to_json()`` text the worker
+produced, stored verbatim — a warm response is byte-identical to the cold
+one.  Disk reads are verified (parseable JSON with the expected format
+version) and a corrupt or foreign-version file is treated as a miss and
+removed, so a crashed writer or a downgrade cannot wedge the daemon.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Optional
+
+from repro.pipeline import RESULT_FORMAT_VERSION, pipeline_fingerprint
+
+__all__ = ["CacheStats", "ScheduleCache", "cache_key", "canonical_request"]
+
+DEFAULT_MEMORY_ENTRIES = 128
+
+
+def canonical_request(program_dict: dict, options_dict: dict) -> str:
+    """The canonical text hashed into the cache key (stable across runs)."""
+    return json.dumps(
+        {
+            "program": program_dict,
+            "options": options_dict,
+            "pipeline": pipeline_fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def cache_key(program_dict: dict, options_dict: dict) -> str:
+    """Content address of one scheduling request (hex sha256)."""
+    text = canonical_request(program_dict, options_dict)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    hits_memory: int = 0
+    hits_disk: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    invalid_dropped: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits_memory + self.hits_disk + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        looked = self.lookups
+        return 0.0 if not looked else (self.hits_memory + self.hits_disk) / looked
+
+    def as_dict(self) -> dict:
+        return {
+            "hits_memory": self.hits_memory,
+            "hits_disk": self.hits_disk,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "invalid_dropped": self.invalid_dropped,
+            "lookups": self.lookups,
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+class ScheduleCache:
+    """Memory-LRU over an atomic on-disk store; thread-safe.
+
+    ``cache_dir=None`` runs memory-only (tests, ``--cache-dir ''``);
+    ``memory_entries=0`` disables tier 1 (every hit re-reads disk).
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[os.PathLike],
+        memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+    ):
+        self.cache_dir = None if cache_dir is None else Path(cache_dir)
+        self.memory_entries = max(0, int(memory_entries))
+        self.stats = CacheStats()
+        self._mem: OrderedDict[str, str] = OrderedDict()
+        self._lock = Lock()
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, key: str) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / key[:2] / f"{key}.json"
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, key: str) -> tuple[Optional[str], Optional[str]]:
+        """Return ``(result_text, tier)``; ``(None, None)`` on a miss.
+
+        ``tier`` is ``"memory"`` or ``"disk"``; a disk hit is promoted
+        into the memory tier.
+        """
+        with self._lock:
+            text = self._mem.get(key)
+            if text is not None:
+                self._mem.move_to_end(key)
+                self.stats.hits_memory += 1
+                return text, "memory"
+
+        text = self._read_disk(key)
+        with self._lock:
+            if text is None:
+                self.stats.misses += 1
+                return None, None
+            self.stats.hits_disk += 1
+            self._remember(key, text)
+            return text, "disk"
+
+    def _read_disk(self, key: str) -> Optional[str]:
+        path = self.path_for(key)
+        if path is None:
+            return None
+        try:
+            text = path.read_text()
+        except OSError:
+            return None
+        if not self._valid(text):
+            # Corrupt (killed writer) or foreign-version: drop, recompute.
+            with self._lock:
+                self.stats.invalid_dropped += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        return text
+
+    @staticmethod
+    def _valid(text: str) -> bool:
+        try:
+            payload = json.loads(text)
+        except ValueError:
+            return False
+        return (
+            isinstance(payload, dict)
+            and payload.get("version") == RESULT_FORMAT_VERSION
+        )
+
+    # -- stores ------------------------------------------------------------
+
+    def put(self, key: str, text: str) -> None:
+        """Insert into both tiers; the disk write is atomic (tmp+rename)."""
+        path = self.path_for(key)
+        if path is not None:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(text)
+            os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(key, text)
+
+    def _remember(self, key: str, text: str) -> None:
+        # caller holds the lock
+        if self.memory_entries == 0:
+            return
+        if key in self._mem:
+            self._mem.move_to_end(key)
+        else:
+            while len(self._mem) >= self.memory_entries:
+                self._mem.popitem(last=False)
+                self.stats.evictions += 1
+        self._mem[key] = text
+
+    # -- introspection -----------------------------------------------------
+
+    def memory_len(self) -> int:
+        with self._lock:
+            return len(self._mem)
+
+    def disk_len(self) -> int:
+        if self.cache_dir is None:
+            return 0
+        return sum(1 for _ in self.cache_dir.glob("*/*.json"))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            stats = self.stats.as_dict()
+        return {
+            **stats,
+            "memory_entries": self.memory_len(),
+            "memory_capacity": self.memory_entries,
+            "disk_entries": self.disk_len(),
+            "cache_dir": None if self.cache_dir is None else str(self.cache_dir),
+        }

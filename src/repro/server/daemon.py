@@ -1,0 +1,402 @@
+"""The scheduling daemon: socket server, single-flight, graceful drain.
+
+Thread model: the main thread runs the accept loop; each client connection
+gets a reader thread that handles its requests in order; the pool's
+dispatcher thread supervises worker processes.  Seconds-long scheduling
+work never runs on any of these threads — it runs in per-request worker
+processes — so the GIL is irrelevant here.
+
+Request path for ``optimize``:
+
+1. resolve the request to ``(serialized program, resolved options)`` —
+   a registered workload name picks up its paper flags (``iss``/
+   ``diamond``) underneath the caller's overrides, exactly like
+   ``repro opt``;
+2. probe the two-tier cache; a hit answers immediately (``hit-memory`` /
+   ``hit-disk``);
+3. on a miss, *single-flight* the key: the first requester submits one
+   pool job, concurrent identical requests wait on the same in-flight
+   entry and are answered from it (``coalesced``);
+4. if the pool is saturated (bounded queue full), the request is rejected
+   with an explicit ``busy`` response — clients retry, the daemon never
+   builds unbounded latency;
+5. the pool completion callback stores the result in both cache tiers and
+   wakes every waiter.  Worker crashes and timeouts become structured
+   ``error`` responses for exactly the requests that needed that key; the
+   daemon itself never dies with a worker.
+
+``SIGTERM``/``SIGINT`` trigger a graceful drain: stop accepting, finish
+in-flight work, answer late requests with ``shutting-down``, close
+connections, leave the on-disk cache ready for the next start.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.server import protocol
+from repro.server.cache import DEFAULT_MEMORY_ENTRIES, ScheduleCache, cache_key
+from repro.server.metrics import ServerMetrics
+from repro.server.pool import DEFAULT_TIMEOUT, PoolJob, WorkerPool
+from repro.workers import WorkerEvent
+
+__all__ = ["Daemon", "DaemonConfig"]
+
+#: optimize() waiters give the pool this much slack past the worker
+#: deadline before declaring the daemon itself wedged
+_WAIT_GRACE = 30.0
+
+
+@dataclass
+class DaemonConfig:
+    socket_path: Optional[str] = None   # Unix socket (preferred)
+    host: str = "127.0.0.1"             # TCP fallback
+    port: Optional[int] = None
+    jobs: int = 2
+    timeout: float = DEFAULT_TIMEOUT    # per-request worker deadline
+    backlog: Optional[int] = None       # queued misses beyond `jobs` (default 2x)
+    cache_dir: Optional[str] = ".repro-cache"
+    memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    drain_seconds: float = 60.0         # SIGTERM: wait this long for workers
+
+    def __post_init__(self) -> None:
+        if (self.socket_path is None) == (self.port is None):
+            raise ValueError("configure exactly one of socket_path or port")
+
+
+class _Flight:
+    """One in-flight computation; waiters block on the event."""
+
+    def __init__(self) -> None:
+        self.event = threading.Event()
+        self.response: Optional[dict] = None
+        self.result_text: Optional[str] = None
+        self.compute_seconds: float = 0.0
+
+
+class Daemon:
+    def __init__(self, config: DaemonConfig):
+        self.config = config
+        self.cache = ScheduleCache(
+            config.cache_dir or None, memory_entries=config.memory_entries
+        )
+        self.pool = WorkerPool(
+            config.jobs, timeout=config.timeout, backlog=config.backlog
+        )
+        self.metrics = ServerMetrics()
+        self._flights: dict[str, _Flight] = {}
+        self._flights_lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener: Optional[socket.socket] = None
+        self._conn_threads: list[threading.Thread] = []
+        self._open_conns: set[socket.socket] = set()
+        self._conns_lock = threading.Lock()
+        self.bound_address: Optional[object] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def _bind(self) -> socket.socket:
+        if self.config.socket_path is not None:
+            path = self.config.socket_path
+            with contextlib.suppress(OSError):
+                os.unlink(path)  # stale socket from a dead daemon
+            listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            listener.bind(path)
+            self.bound_address = path
+        else:
+            listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            listener.bind((self.config.host, self.config.port))
+            self.bound_address = listener.getsockname()
+        listener.listen(64)
+        listener.settimeout(0.2)  # poll the stop event between accepts
+        return listener
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda signum, frame: self._stop.set())
+
+    def serve(self) -> None:
+        """Bind, accept until asked to stop, then drain.  Blocks."""
+        self.pool.start()
+        self._listener = self._bind()
+        try:
+            while not self._stop.is_set():
+                try:
+                    conn, _ = self._listener.accept()
+                except socket.timeout:
+                    continue
+                except OSError:
+                    break
+                thread = threading.Thread(
+                    target=self._serve_connection, args=(conn,),
+                    name="repro-serve-conn", daemon=True,
+                )
+                with self._conns_lock:
+                    self._open_conns.add(conn)
+                    self._conn_threads.append(thread)
+                thread.start()
+        finally:
+            self._shutdown()
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and stop (thread-safe, returns fast)."""
+        self._stop.set()
+
+    def _shutdown(self) -> None:
+        if self._listener is not None:
+            with contextlib.suppress(OSError):
+                self._listener.close()
+        if self.config.socket_path is not None:
+            with contextlib.suppress(OSError):
+                os.unlink(self.config.socket_path)
+        drained = self.pool.drain(timeout=self.config.drain_seconds)
+        if not drained:
+            self.pool.stop()  # stragglers: kill, fail their flights
+        # In-flight responses are out (flights settle before the pool
+        # reports drained); now cut the readers loose.
+        with self._conns_lock:
+            conns = list(self._open_conns)
+            threads = list(self._conn_threads)
+        for conn in conns:
+            with contextlib.suppress(OSError):
+                conn.shutdown(socket.SHUT_RDWR)
+            with contextlib.suppress(OSError):
+                conn.close()
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    # -- connection handling -----------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        try:
+            rfile = conn.makefile("rb")
+            wfile = conn.makefile("wb")
+            while True:
+                try:
+                    request = protocol.read_message(rfile)
+                except protocol.ProtocolError as e:
+                    self.metrics.count_error("bad-request")
+                    protocol.write_message(
+                        wfile, protocol.error_response(None, "bad-request", str(e))
+                    )
+                    continue
+                if request is None:
+                    return  # orderly EOF
+                response = self._handle(request)
+                protocol.write_message(wfile, response)
+                if request.get("type") == "shutdown":
+                    return
+        except (OSError, ValueError):
+            pass  # client went away mid-message; nothing to answer
+        finally:
+            with contextlib.suppress(OSError):
+                conn.close()
+            with self._conns_lock:
+                self._open_conns.discard(conn)
+
+    def _handle(self, request: dict) -> dict:
+        t_arrival = time.perf_counter()
+        try:
+            protocol.validate_request(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.error_response(request, "bad-request", str(e))
+        rtype = request["type"]
+        self.metrics.count_request(rtype)
+
+        if rtype == "ping":
+            return {**protocol.response_header(request), "status": "ok"}
+        if rtype == "stats":
+            return {
+                **protocol.response_header(request),
+                "status": "ok",
+                "stats": self.stats(),
+            }
+        if rtype == "shutdown":
+            self.shutdown()
+            return {
+                **protocol.response_header(request),
+                "status": "ok",
+                "draining": True,
+            }
+        return self._handle_optimize(request, t_arrival)
+
+    # -- the optimize path -------------------------------------------------
+
+    def _resolve(self, request: dict) -> tuple[dict, dict]:
+        """Request → (serialized program, resolved options dict).
+
+        Raises :class:`protocol.ProtocolError` for anything the caller got
+        wrong: unknown workload, malformed IR, bad option values.
+        """
+        from repro.frontend.serialize import program_from_dict, program_to_dict
+        from repro.pipeline import PipelineOptions
+
+        overrides = dict(request.get("options") or {})
+        unknown = set(overrides) - set(PipelineOptions.__dataclass_fields__)
+        if unknown:
+            raise protocol.ProtocolError(
+                f"unknown PipelineOptions fields: {sorted(unknown)}"
+            )
+        try:
+            if "workload" in request:
+                from repro.workloads import get_workload
+
+                try:
+                    w = get_workload(request["workload"])
+                except KeyError as e:
+                    raise protocol.ProtocolError(str(e)) from None
+                base = {"iss": w.iss, "diamond": w.diamond}
+                base.update(overrides)
+                algorithm = base.pop("algorithm", "plutoplus")
+                options = PipelineOptions(algorithm=algorithm, **base)
+                program = w.program()
+            else:
+                program = program_from_dict(request["program"])
+                options = PipelineOptions(**overrides)
+        except protocol.ProtocolError:
+            raise
+        except (TypeError, ValueError, KeyError) as e:
+            raise protocol.ProtocolError(
+                f"cannot resolve optimize request: {e}"
+            ) from None
+        return program_to_dict(program), options.as_dict()
+
+    def _handle_optimize(self, request: dict, t_arrival: float) -> dict:
+        import json
+
+        try:
+            program_dict, options_dict = self._resolve(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.error_response(request, "bad-request", str(e))
+
+        key = cache_key(program_dict, options_dict)
+        text, tier = self.cache.get(key)
+        self.metrics.observe("lookup", time.perf_counter() - t_arrival)
+        if text is not None:
+            return self._ok_response(
+                request, key, f"hit-{tier}", json.loads(text), t_arrival
+            )
+
+        if self._stop.is_set():
+            self.metrics.count_error("shutting-down")
+            return protocol.error_response(
+                request, "shutting-down", "daemon is draining; not accepting work"
+            )
+
+        flight, owner = self._join_flight(key, program_dict, options_dict)
+        if flight is None:
+            self.metrics.count_busy()
+            in_flight, queued = self.pool.load()
+            return {
+                **protocol.response_header(request),
+                "status": "busy",
+                "message": (
+                    f"queue full ({in_flight} in flight, {queued} queued); "
+                    f"retry later"
+                ),
+                "in_flight": in_flight,
+                "queued": queued,
+            }
+
+        # Workers are deadline-killed, and a dying pool fails its flights,
+        # so this wait terminates; the grace margin is pure paranoia.
+        if not flight.event.wait(timeout=self.config.timeout + _WAIT_GRACE):
+            self.metrics.count_error("wedged")
+            return protocol.error_response(
+                request, "error", "internal: flight never settled"
+            )
+        if flight.result_text is None:
+            return {**protocol.response_header(request), **flight.response}
+        cache_tag = "miss" if owner else "coalesced"
+        return self._ok_response(
+            request, key, cache_tag, json.loads(flight.result_text), t_arrival
+        )
+
+    def _join_flight(
+        self, key: str, program_dict: dict, options_dict: dict
+    ) -> tuple[Optional[_Flight], bool]:
+        """Single-flight entry: returns ``(flight, is_owner)``.
+
+        ``(None, False)`` means admission control rejected the request.
+        """
+        with self._flights_lock:
+            flight = self._flights.get(key)
+            if flight is not None:
+                return flight, False
+            flight = _Flight()
+            job = PoolJob(
+                key=key,
+                payload={"program": program_dict, "options": options_dict},
+                on_done=lambda ev, k=key: self._complete(k, ev),
+                name=f"repro-serve-{key[:12]}",
+            )
+            if not self.pool.try_submit(job):
+                return None, False
+            self._flights[key] = flight
+            return flight, True
+
+    def _complete(self, key: str, ev: WorkerEvent) -> None:
+        """Pool callback (dispatcher thread): settle the flight."""
+        with self._flights_lock:
+            flight = self._flights.pop(key, None)
+        if flight is None:  # pool stop raced a completed flight
+            return
+        if ev.kind == "ok":
+            self.cache.put(key, ev.payload)
+            flight.result_text = ev.payload
+            flight.compute_seconds = ev.elapsed
+            self.metrics.observe("compute", ev.elapsed)
+        else:
+            message = ev.payload if isinstance(ev.payload, str) else str(ev.payload)
+            flight.response = {
+                "status": "error",
+                "kind": ev.kind,
+                "message": message,
+                "key": key,
+            }
+            self.metrics.count_error(ev.kind)
+        flight.event.set()
+
+    def _ok_response(
+        self, request: dict, key: str, cache_tag: str, payload: dict,
+        t_arrival: float,
+    ) -> dict:
+        elapsed = time.perf_counter() - t_arrival
+        self.metrics.count_outcome(cache_tag)
+        self.metrics.observe("total", elapsed)
+        return {
+            **protocol.response_header(request),
+            "status": "ok",
+            "cache": cache_tag,
+            "key": key,
+            "elapsed": round(elapsed, 6),
+            "result": payload,
+        }
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> dict:
+        in_flight, queued = self.pool.load()
+        with self._conns_lock:
+            connections = len(self._open_conns)
+        return {
+            "server": self.metrics.snapshot(
+                in_flight=in_flight,
+                queue_depth=queued,
+                connections=connections,
+                jobs=self.pool.jobs,
+                backlog=self.pool.backlog,
+            ),
+            "cache": self.cache.snapshot(),
+        }

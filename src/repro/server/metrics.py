@@ -1,0 +1,161 @@
+"""Serving metrics: request counters, gauges, latency percentiles.
+
+A single :class:`ServerMetrics` instance is shared by every connection
+thread and the pool dispatcher, so everything is guarded by one lock —
+contention is irrelevant next to seconds-long scheduling requests.
+
+Latencies are recorded per stage into bounded reservoirs (the most recent
+``window`` observations): ``lookup`` is resolve + cache probe, ``compute``
+is worker wall time on a miss, ``total`` is request arrival to response
+ready.  Percentiles are computed on demand from a sorted copy — a few
+thousand floats, microseconds — rather than maintained incrementally.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Optional
+
+__all__ = ["LatencyWindow", "ServerMetrics"]
+
+DEFAULT_WINDOW = 4096
+
+PERCENTILES = (0.5, 0.9, 0.99)
+
+
+class LatencyWindow:
+    """The most recent ``window`` observations of one latency stage."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._samples: deque[float] = deque(maxlen=window)
+        self.count = 0  # lifetime, not just the window
+
+    def record(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        idx = min(len(ordered) - 1, int(q * len(ordered)))
+        return ordered[idx]
+
+    def as_dict(self) -> dict:
+        out: dict = {"count": self.count}
+        for q in PERCENTILES:
+            value = self.percentile(q)
+            key = f"p{int(q * 100)}"
+            out[key] = None if value is None else round(value, 6)
+        if self._samples:
+            out["max"] = round(max(self._samples), 6)
+        else:
+            out["max"] = None
+        return out
+
+
+class ServerMetrics:
+    """Counters + latency windows; ``snapshot()`` is the ``stats`` payload."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW):
+        self._lock = threading.Lock()
+        self.started = time.time()
+        self.requests = 0            # every parsed request, any type
+        self.optimize_requests = 0
+        self.ok = 0
+        self.hits_memory = 0
+        self.hits_disk = 0
+        self.coalesced = 0           # waited on another request's computation
+        self.misses = 0              # actually computed by a worker
+        self.busy = 0                # admission control rejections
+        self.errors: dict[str, int] = {}
+        self._latency = {
+            "lookup": LatencyWindow(window),
+            "compute": LatencyWindow(window),
+            "total": LatencyWindow(window),
+        }
+
+    # -- recording ---------------------------------------------------------
+
+    def count_request(self, rtype: str) -> None:
+        with self._lock:
+            self.requests += 1
+            if rtype == "optimize":
+                self.optimize_requests += 1
+
+    def count_outcome(self, cache: Optional[str]) -> None:
+        """One served optimize response: ``cache`` is the response tag."""
+        with self._lock:
+            self.ok += 1
+            if cache == "hit-memory":
+                self.hits_memory += 1
+            elif cache == "hit-disk":
+                self.hits_disk += 1
+            elif cache == "coalesced":
+                self.coalesced += 1
+            elif cache == "miss":
+                self.misses += 1
+
+    def count_busy(self) -> None:
+        with self._lock:
+            self.busy += 1
+
+    def count_error(self, kind: str) -> None:
+        with self._lock:
+            self.errors[kind] = self.errors.get(kind, 0) + 1
+
+    def observe(self, stage: str, seconds: float) -> None:
+        with self._lock:
+            self._latency[stage].record(seconds)
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits_memory + self.hits_disk + self.coalesced + self.misses
+        if not served:
+            return 0.0
+        return (self.hits_memory + self.hits_disk + self.coalesced) / served
+
+    def snapshot(self, **gauges) -> dict:
+        """Everything, as one JSON-shaped dict.
+
+        ``gauges`` lets the daemon splice in point-in-time values it owns
+        (``queue_depth``, ``in_flight``, ``connections``).
+        """
+        with self._lock:
+            return {
+                "uptime_seconds": round(time.time() - self.started, 3),
+                "requests": self.requests,
+                "optimize_requests": self.optimize_requests,
+                "ok": self.ok,
+                "hits_memory": self.hits_memory,
+                "hits_disk": self.hits_disk,
+                "coalesced": self.coalesced,
+                "misses": self.misses,
+                "busy": self.busy,
+                "errors": dict(self.errors),
+                "hit_rate": round(self.hit_rate, 4),
+                "latency": {
+                    name: window.as_dict()
+                    for name, window in self._latency.items()
+                },
+                **gauges,
+            }
+
+    def summary_line(self) -> str:
+        """The one-liner ``repro serve --report`` prints on exit."""
+        snap = self.snapshot()
+        p50 = snap["latency"]["total"]["p50"]
+        return (
+            f"served {snap['optimize_requests']} optimize request(s): "
+            f"{snap['hits_memory']}+{snap['hits_disk']} cache hits "
+            f"(mem+disk), {snap['coalesced']} coalesced, "
+            f"{snap['misses']} computed, {snap['busy']} busy, "
+            f"errors {json.dumps(snap['errors'])}, "
+            f"hit rate {snap['hit_rate']:.2f}, "
+            f"p50 total {('%.3fs' % p50) if p50 is not None else 'n/a'}"
+        )

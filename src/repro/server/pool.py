@@ -1,0 +1,210 @@
+"""The daemon's worker pool: one fresh process per cache miss.
+
+Same execution model as the suite engine — and the same supervision code
+(:mod:`repro.workers`) — but with dynamic submission instead of a fixed
+matrix: connection threads :meth:`~WorkerPool.try_submit` jobs, a single
+dispatcher thread owns the supervisor, spawns up to ``jobs`` concurrent
+processes, and fires each job's completion callback with the settled
+:class:`~repro.workers.WorkerEvent` (``ok``/``error``/``crash``/
+``timeout``).  A crashed or hung worker settles as an event like any
+other — the daemon stays up.
+
+Backpressure is the bounded queue: ``try_submit`` returns ``False`` once
+``live + queued`` reaches ``jobs + backlog``, which the daemon turns into
+an explicit ``busy`` response instead of unbounded latency.
+
+The dispatcher blocks in ``supervisor.poll`` on the worker pipes *plus* a
+self-pipe; ``try_submit`` writes one byte to wake it, so submission latency
+is a pipe write, not a poll interval.  Only the dispatcher thread ever
+touches the supervisor — worker kills included — so there is no cross-
+thread process management anywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.workers import WorkerEvent, WorkerSupervisor
+
+__all__ = ["PoolJob", "WorkerPool", "run_optimize_job"]
+
+DEFAULT_TIMEOUT = 900.0
+
+
+def run_optimize_job(payload: dict) -> str:
+    """Child job body: serialized IR + options in, result JSON text out."""
+    from repro.frontend.serialize import program_from_dict
+    from repro.pipeline import PipelineOptions, optimize
+
+    program = program_from_dict(payload["program"])
+    options = PipelineOptions.from_dict(payload["options"])
+    return optimize(program, options).to_json()
+
+
+@dataclass
+class PoolJob:
+    key: str
+    payload: dict
+    on_done: Callable[[WorkerEvent], None]
+    name: str = "repro-serve-job"
+
+
+@dataclass
+class _PoolState:
+    queued: list = field(default_factory=list)
+    live: int = 0
+    stopping: bool = False   # no new submissions; finish what is queued
+    kill: bool = False       # abandon everything now
+
+
+class WorkerPool:
+    """Bounded per-request process pool with completion callbacks.
+
+    ``on_done`` callbacks run on the dispatcher thread and must be quick
+    (a cache store plus an event set); anything slow would serialize job
+    completions behind it.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        *,
+        timeout: float = DEFAULT_TIMEOUT,
+        backlog: Optional[int] = None,
+        target: Callable = run_optimize_job,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.timeout = timeout
+        self.backlog = 2 * self.jobs if backlog is None else max(0, int(backlog))
+        self._sup = WorkerSupervisor(target)
+        self._lock = threading.Lock()
+        self._state = _PoolState()
+        self._drained = threading.Condition(self._lock)
+        self._wake_r: Optional[int] = None
+        self._wake_w: Optional[int] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        self._wake_r, self._wake_w = os.pipe()
+        self._thread = threading.Thread(
+            target=self._dispatch, name="repro-serve-pool", daemon=True
+        )
+        self._thread.start()
+
+    def _wake(self) -> None:
+        try:
+            os.write(self._wake_w, b"x")
+        except OSError:
+            pass  # dispatcher already gone
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Stop accepting work and wait for queued + live jobs to settle.
+
+        Returns ``False`` if jobs were still running when ``timeout``
+        expired; call :meth:`stop` afterwards to kill the stragglers.
+        """
+        with self._lock:
+            self._state.stopping = True
+        self._wake()
+        with self._lock:
+            settled = self._drained.wait_for(
+                lambda: not self._state.queued and not self._state.live,
+                timeout=timeout,
+            )
+        if settled and self._thread is not None:
+            self._thread.join(timeout=5.0)
+        return settled
+
+    def stop(self) -> None:
+        """Hard stop: kill live workers, fail queued and in-flight jobs."""
+        with self._lock:
+            self._state.stopping = True
+            self._state.kill = True
+        self._wake()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+
+    # -- submission --------------------------------------------------------
+
+    def load(self) -> tuple[int, int]:
+        """Point-in-time ``(in_flight, queued)`` for metrics gauges."""
+        with self._lock:
+            return self._state.live, len(self._state.queued)
+
+    def try_submit(self, job: PoolJob) -> bool:
+        """Queue one job; ``False`` means over capacity (caller says busy)."""
+        with self._lock:
+            if self._state.stopping:
+                return False
+            if self._state.live + len(self._state.queued) >= self.jobs + self.backlog:
+                return False
+            self._state.queued.append(job)
+        self._wake()
+        return True
+
+    # -- dispatcher thread -------------------------------------------------
+
+    def _settle(self, job: PoolJob, ev: WorkerEvent) -> None:
+        with self._lock:
+            self._state.live -= 1
+            self._drained.notify_all()
+        try:
+            job.on_done(ev)
+        except Exception:
+            pass  # a broken callback must not kill the pool
+
+    def _dispatch(self) -> None:
+        # The wake pipe's raw read fd joins supervisor.poll's wait set
+        # directly: on POSIX, multiprocessing.connection.wait registers
+        # plain file descriptors with selectors just fine.
+        try:
+            while True:
+                with self._lock:
+                    if self._state.kill:
+                        break
+                    while self._state.queued and self._state.live < self.jobs:
+                        job = self._state.queued.pop(0)
+                        self._sup.spawn(
+                            job, job.payload, timeout=self.timeout, name=job.name
+                        )
+                        self._state.live += 1
+                    if (
+                        self._state.stopping
+                        and not self._state.queued
+                        and not self._state.live
+                    ):
+                        break
+
+                events, ready = self._sup.poll(extra=[self._wake_r])
+                if ready:
+                    try:
+                        os.read(self._wake_r, 4096)
+                    except OSError:
+                        pass
+                for ev in events:
+                    self._settle(ev.key, ev)
+        finally:
+            # Kill path (or an unexpected dispatcher error): fail whatever
+            # is left so no waiter blocks forever, then reap the processes.
+            abandoned = [h.key for h in self._sup.live_handles()]
+            self._sup.shutdown()
+            with self._lock:
+                abandoned += self._state.queued
+                self._state.queued = []
+                self._state.live = 0
+                self._drained.notify_all()
+            for job in abandoned:
+                try:
+                    job.on_done(WorkerEvent(job, "error", "pool stopped", 0.0))
+                except Exception:
+                    pass
+            try:
+                os.close(self._wake_r)
+                os.close(self._wake_w)
+            except OSError:
+                pass

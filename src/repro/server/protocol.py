@@ -1,0 +1,122 @@
+"""The daemon's wire protocol: JSON lines over a stream socket.
+
+One request per line, one response line per request, in order.  Both sides
+are plain JSON objects; binary-safe framing is simply ``\\n`` because
+``json.dumps`` never emits a raw newline.  The protocol is deliberately
+dumb — no pipelining, no multiplexing — because scheduling requests are
+seconds-long and coalesced server-side; concurrency comes from opening
+more connections.
+
+Requests (``type`` selects the handler)::
+
+    {"type": "optimize", "workload": "heat-2dp", "options": {...}}
+    {"type": "optimize", "program": {<serialized IR>}, "options": {...}}
+    {"type": "stats"}     {"type": "ping"}     {"type": "shutdown"}
+
+``options`` is a *partial* :class:`~repro.pipeline.PipelineOptions` dict —
+only the overrides; for named workloads the daemon fills in the workload's
+paper flags (``iss``/``diamond``) underneath, exactly like ``repro opt``.
+An optional ``id`` is echoed verbatim in the response.
+
+Every response carries ``protocol`` (this module's version) and
+``server_version`` (the package version) so client/daemon skew is
+diagnosable, plus a ``status``: ``ok``, ``busy`` (admission control
+rejected the request; retry later), or ``error`` (``kind`` one of
+``bad-request``, ``error``, ``crash``, ``timeout``, ``shutting-down``).
+For ``optimize`` the ``ok`` response embeds the full
+``OptimizationResult.to_json()`` payload under ``result`` and says where
+the answer came from under ``cache`` (``hit-memory``, ``hit-disk``,
+``coalesced``, or ``miss``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro import __version__
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_TYPES",
+    "ProtocolError",
+    "error_response",
+    "read_message",
+    "response_header",
+    "validate_request",
+    "write_message",
+]
+
+#: bumped whenever the request/response shapes change incompatibly
+PROTOCOL_VERSION = 1
+
+REQUEST_TYPES = ("optimize", "stats", "ping", "shutdown")
+
+
+class ProtocolError(ValueError):
+    """A malformed request line or response; maps to ``bad-request``."""
+
+
+def write_message(wfile, obj: dict) -> None:
+    """Send one message: a single JSON line, flushed."""
+    wfile.write(json.dumps(obj).encode("utf-8") + b"\n")
+    wfile.flush()
+
+
+def read_message(rfile) -> Optional[dict]:
+    """Read one message; ``None`` on orderly EOF, :class:`ProtocolError`
+    on garbage.  Blank lines are tolerated (and skipped) so hand-driven
+    ``nc`` sessions work."""
+    while True:
+        line = rfile.readline()
+        if not line:
+            return None
+        if not line.strip():
+            continue
+        try:
+            obj = json.loads(line)
+        except ValueError as e:
+            raise ProtocolError(f"request is not valid JSON: {e}") from None
+        if not isinstance(obj, dict):
+            raise ProtocolError(
+                f"request must be a JSON object, got {type(obj).__name__}"
+            )
+        return obj
+
+
+def response_header(request: Optional[dict] = None) -> dict:
+    """The fields every response starts with (version skew diagnosis)."""
+    header = {"protocol": PROTOCOL_VERSION, "server_version": __version__}
+    if request is not None and "id" in request:
+        header["id"] = request["id"]
+    return header
+
+
+def error_response(request: Optional[dict], kind: str, message: str) -> dict:
+    return {
+        **response_header(request),
+        "status": "error",
+        "kind": kind,
+        "message": message,
+    }
+
+
+def validate_request(obj: dict) -> dict:
+    """Shape-check one parsed request; raises :class:`ProtocolError`."""
+    rtype = obj.get("type")
+    if rtype not in REQUEST_TYPES:
+        raise ProtocolError(
+            f"unknown request type {rtype!r}; expected one of {REQUEST_TYPES}"
+        )
+    if rtype == "optimize":
+        has_workload = isinstance(obj.get("workload"), str)
+        has_program = isinstance(obj.get("program"), dict)
+        if has_workload == has_program:
+            raise ProtocolError(
+                "optimize requests need exactly one of 'workload' (a "
+                "registered name) or 'program' (serialized IR)"
+            )
+        options = obj.get("options")
+        if options is not None and not isinstance(options, dict):
+            raise ProtocolError("'options' must be an object of overrides")
+    return obj

@@ -2,7 +2,8 @@
 
 Each run executes ``optimize(workload, options)`` in its own worker
 process and reports a JSON-shaped record back over a pipe.  The parent is
-a single-threaded event loop over ``multiprocessing.connection.wait``:
+a single-threaded event loop over the shared worker-supervision layer
+(:mod:`repro.workers`, also used by the serving daemon's pool):
 
 * a worker that *reports* is recorded (``ok`` or ``error``);
 * a worker that *dies silently* (signal, hard exit) is a ``crash``;
@@ -20,27 +21,20 @@ cold import and what lets tests inject hostile workloads.
 
 from __future__ import annotations
 
-import multiprocessing
 import time
-import traceback
 from collections import deque
 from dataclasses import dataclass, field
-from multiprocessing.connection import wait as conn_wait
 from typing import Callable, Optional
 
 from repro.suite.failures import RunFailure
 from repro.suite.manifest import SuiteManifest
 from repro.suite.matrix import RunSpec
+from repro.workers import WorkerEvent, WorkerSupervisor
 
 __all__ = ["SuiteResult", "run_suite"]
 
 DEFAULT_TIMEOUT = 900.0
 DEFAULT_RETRIES = 1
-
-
-def _mp_context():
-    methods = multiprocessing.get_all_start_methods()
-    return multiprocessing.get_context("fork" if "fork" in methods else None)
 
 
 # -- worker side -------------------------------------------------------------
@@ -78,37 +72,24 @@ def _ok_record(spec: RunSpec, result) -> dict:
     }
 
 
-def _worker_entry(spec_dict: dict, conn) -> None:
-    """Child process body: run one spec, report exactly one message."""
-    try:
-        from repro.pipeline import optimize
+def _run_one(spec_dict: dict) -> dict:
+    """Child process job body (under :func:`repro.workers.worker_main`)."""
+    from repro.pipeline import optimize
 
-        spec = RunSpec.from_dict(spec_dict)
-        result = optimize(spec.workload, spec.options)
-        conn.send(("ok", _ok_record(spec, result)))
-    except BaseException:
-        # A raising pipeline is a structured outcome, not a crash.
-        try:
-            conn.send(("error", traceback.format_exc()))
-        except Exception:
-            pass  # parent gone or pipe broken: dying reads as a crash
-    finally:
-        conn.close()
+    spec = RunSpec.from_dict(spec_dict)
+    result = optimize(spec.workload, spec.options)
+    return _ok_record(spec, result)
 
 
 # -- parent side -------------------------------------------------------------
 
 @dataclass
-class _Live:
+class _Attempt:
+    """Supervisor key for one run attempt (carries the retry bookkeeping)."""
+
     spec: RunSpec
     attempt: int
     elapsed_before: float      # wall time burned by earlier attempts
-    proc: object
-    conn: object
-    started: float
-
-    def deadline(self, timeout: float) -> float:
-        return self.started + timeout
 
 
 @dataclass
@@ -124,14 +105,6 @@ class SuiteResult:
     @property
     def ok(self) -> bool:
         return not self.failures
-
-
-def _kill(proc) -> None:
-    proc.terminate()
-    proc.join(2.0)
-    if proc.is_alive():
-        proc.kill()
-        proc.join()
 
 
 def run_suite(
@@ -151,54 +124,48 @@ def run_suite(
     recorded ``ok`` in the manifest are skipped.
     """
     say = progress or (lambda msg: None)
-    ctx = _mp_context()
     t_start = time.perf_counter()
     out = SuiteResult(manifest)
 
     done = manifest.completed_ok() if resume else set()
-    pending: deque[tuple[RunSpec, int, float]] = deque()
+    pending: deque[_Attempt] = deque()
     for spec in manifest.specs:
         if spec.run_id in done:
             out.skipped.append(spec.run_id)
             out.records.append(manifest.load_record(spec.run_id))
         else:
-            pending.append((spec, 1, 0.0))
+            pending.append(_Attempt(spec, 1, 0.0))
     if out.skipped:
         say(f"resume: skipping {len(out.skipped)} completed run(s)")
 
     jobs = max(1, int(jobs))
-    live: dict[object, _Live] = {}
+    sup = WorkerSupervisor(_run_one)
 
-    def spawn(spec: RunSpec, attempt: int, elapsed_before: float) -> None:
-        parent_conn, child_conn = ctx.Pipe(duplex=False)
-        proc = ctx.Process(
-            target=_worker_entry,
-            args=(spec.to_dict(), child_conn),
-            name=f"repro-suite-{spec.run_id}",
-            daemon=True,
+    def spawn(attempt: _Attempt) -> None:
+        handle = sup.spawn(
+            attempt,
+            attempt.spec.to_dict(),
+            timeout=timeout,
+            name=f"repro-suite-{attempt.spec.run_id}",
         )
-        proc.start()
-        child_conn.close()  # parent keeps only the read end
-        live[parent_conn] = _Live(
-            spec, attempt, elapsed_before, proc, parent_conn, time.perf_counter()
-        )
-        say(f"start {spec.run_id} (attempt {attempt}, pid {proc.pid})")
+        say(f"start {attempt.spec.run_id} "
+            f"(attempt {attempt.attempt}, pid {handle.proc.pid})")
 
-    def settle(run: _Live, kind: str, message: str) -> None:
+    def settle(run: _Attempt, ev: WorkerEvent) -> None:
         """A crash/timeout/error outcome: retry or record a RunFailure."""
-        elapsed = run.elapsed_before + (time.perf_counter() - run.started)
-        retryable = kind in ("crash", "timeout") and run.attempt <= retries
+        elapsed = run.elapsed_before + ev.elapsed
+        retryable = ev.kind in ("crash", "timeout") and run.attempt <= retries
         if retryable:
-            say(f"retry {run.spec.run_id} after {kind} "
+            say(f"retry {run.spec.run_id} after {ev.kind} "
                 f"(attempt {run.attempt} of {1 + retries})")
-            pending.append((run.spec, run.attempt + 1, elapsed))
+            pending.append(_Attempt(run.spec, run.attempt + 1, elapsed))
             return
         failure = RunFailure(
             run_id=run.spec.run_id,
             workload=run.spec.workload,
             variant=run.spec.variant,
-            kind=kind,
-            message=message,
+            kind=ev.kind,
+            message=ev.payload,
             attempts=run.attempt,
             elapsed=elapsed,
         )
@@ -217,55 +184,29 @@ def run_suite(
         out.records.append(record)
         say(f"FAIL {failure}")
 
-    def finish_ok(run: _Live, record: dict) -> None:
-        elapsed = run.elapsed_before + (time.perf_counter() - run.started)
+    def finish_ok(run: _Attempt, ev: WorkerEvent) -> None:
+        elapsed = run.elapsed_before + ev.elapsed
+        record = ev.payload
         record["attempts"] = run.attempt
         record["elapsed"] = elapsed
-        record["worker_pid"] = run.proc.pid
+        record["worker_pid"] = ev.pid
         manifest.write_record(record)
         out.records.append(record)
         say(f"ok {run.spec.run_id} in {elapsed:.1f}s")
 
     try:
-        while pending or live:
-            while pending and len(live) < jobs:
-                spawn(*pending.popleft())
+        while pending or sup.live_count:
+            while pending and sup.live_count < jobs:
+                spawn(pending.popleft())
 
-            now = time.perf_counter()
-            next_deadline = min(r.deadline(timeout) for r in live.values())
-            ready = conn_wait(
-                list(live), timeout=max(0.0, next_deadline - now) + 0.01
-            )
-
-            for conn in ready:
-                run = live.pop(conn)
-                try:
-                    status, payload = conn.recv()
-                except (EOFError, OSError):
-                    run.proc.join()
-                    code = run.proc.exitcode
-                    settle(run, "crash",
-                           f"worker died without reporting (exit code {code})")
+            events, _ = sup.poll()
+            for ev in events:
+                if ev.kind == "ok":
+                    finish_ok(ev.key, ev)
                 else:
-                    run.proc.join()
-                    if status == "ok":
-                        finish_ok(run, payload)
-                    else:
-                        settle(run, "error", payload)
-                finally:
-                    conn.close()
-
-            now = time.perf_counter()
-            overdue = [r for r in live.values() if now >= r.deadline(timeout)]
-            for run in overdue:
-                del live[run.conn]
-                _kill(run.proc)
-                run.conn.close()
-                settle(run, "timeout", f"exceeded {timeout:.0f}s deadline")
+                    settle(ev.key, ev)
     finally:
-        for run in live.values():  # interrupted: leave no orphans
-            _kill(run.proc)
-            run.conn.close()
+        sup.shutdown()  # interrupted: leave no orphans
 
     out.wall_seconds = time.perf_counter() - t_start
     return out

@@ -1,0 +1,219 @@
+"""Shared worker-process supervision: spawn, report, deadline kill.
+
+Two subsystems run jobs as one short-lived process per request — the
+parallel suite engine (:mod:`repro.suite.runner`) and the serving daemon's
+pool (:mod:`repro.server.pool`).  Both need the same machinery: fork a
+child that reports exactly one ``("ok" | "error", payload)`` message over a
+pipe, wait on many children at once, kill the ones that outlive their
+deadline, and classify a silent death as a *crash* rather than a result.
+That machinery lives here so the two callers cannot drift apart; policy —
+retries, manifests, caches, admission control — stays with the caller.
+
+Child contract (:func:`worker_main`): the spawn target runs
+``fn(payload)`` and sends ``("ok", result)``; any raise is caught and sent
+as ``("error", traceback_text)``; a child that dies without sending (signal,
+``os._exit``, broken pipe) surfaces as a ``crash`` event.  ``fn`` must be a
+module-level callable so the spawn start method keeps working where fork is
+unavailable.
+
+Parent contract (:class:`WorkerSupervisor`): :meth:`~WorkerSupervisor.spawn`
+starts one child per job, :meth:`~WorkerSupervisor.poll` performs one
+``multiprocessing.connection.wait`` round and returns settled
+:class:`WorkerEvent` records (``ok``/``error``/``crash``/``timeout``).
+``poll`` also accepts extra connections to wait on — the daemon pool's
+wake pipe — so a dispatcher thread can block on worker completions and new
+submissions in one call.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import time
+import traceback
+from dataclasses import dataclass
+from multiprocessing.connection import wait as conn_wait
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "WorkerEvent",
+    "WorkerHandle",
+    "WorkerSupervisor",
+    "kill_process",
+    "mp_context",
+    "worker_main",
+]
+
+
+def mp_context():
+    """Fork where available (Linux): the child inherits the loaded workload
+    registry and warm polyhedral caches, which is both faster than a cold
+    import and what lets tests inject hostile workloads."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+def kill_process(proc) -> None:
+    """Terminate, escalating to SIGKILL if the child ignores SIGTERM."""
+    proc.terminate()
+    proc.join(2.0)
+    if proc.is_alive():
+        proc.kill()
+        proc.join()
+
+
+def worker_main(fn: Callable, payload, conn) -> None:
+    """Child process body: run ``fn(payload)``, report exactly one message."""
+    try:
+        result = fn(payload)
+        conn.send(("ok", result))
+    except BaseException:
+        # A raising job is a structured outcome, not a crash.
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:
+            pass  # parent gone or pipe broken: dying reads as a crash
+    finally:
+        conn.close()
+
+
+@dataclass
+class WorkerHandle:
+    """One live child: its identity token plus process bookkeeping."""
+
+    key: object
+    proc: object
+    conn: object
+    started: float
+    timeout: Optional[float]
+
+    def deadline(self) -> float:
+        return math.inf if self.timeout is None else self.started + self.timeout
+
+
+@dataclass
+class WorkerEvent:
+    """A settled worker, classified.
+
+    ``kind`` is ``ok`` (child reported a result, in ``payload``), ``error``
+    (child reported a traceback), ``crash`` (child died without reporting),
+    or ``timeout`` (parent killed it past its deadline).  ``elapsed`` is
+    the wall time of this attempt only.
+    """
+
+    key: object
+    kind: str
+    payload: object
+    elapsed: float
+    pid: Optional[int] = None
+
+
+class WorkerSupervisor:
+    """Owns the live worker processes for one event loop.
+
+    Single-threaded by design: one thread spawns and polls.  Callers layer
+    their own policy (slot limits, retries, queues) on top.
+    """
+
+    def __init__(self, fn: Callable, ctx=None):
+        self.fn = fn
+        self.ctx = ctx or mp_context()
+        self._live: dict[object, WorkerHandle] = {}  # read-conn -> handle
+
+    @property
+    def live_count(self) -> int:
+        return len(self._live)
+
+    def live_handles(self) -> list[WorkerHandle]:
+        return list(self._live.values())
+
+    def spawn(
+        self,
+        key,
+        payload,
+        *,
+        timeout: Optional[float] = None,
+        name: Optional[str] = None,
+    ) -> WorkerHandle:
+        """Start one child running ``fn(payload)``; never blocks."""
+        parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+        proc = self.ctx.Process(
+            target=worker_main,
+            args=(self.fn, payload, child_conn),
+            name=name or "repro-worker",
+            daemon=True,
+        )
+        proc.start()
+        child_conn.close()  # parent keeps only the read end
+        handle = WorkerHandle(key, proc, parent_conn, time.perf_counter(), timeout)
+        self._live[parent_conn] = handle
+        return handle
+
+    def poll(
+        self, extra: Sequence = (), timeout: Optional[float] = None
+    ) -> tuple[list[WorkerEvent], list]:
+        """One wait round: reap reporters, kill the overdue, return events.
+
+        Blocks until a worker settles, an ``extra`` connection becomes
+        readable, the earliest worker deadline passes, or ``timeout``
+        elapses — whichever is first.  Returns ``(events, ready_extras)``.
+        """
+        if not self._live and not extra:
+            return [], []
+
+        deadlines = [
+            h.deadline() for h in self._live.values() if h.timeout is not None
+        ]
+        wait_for = timeout
+        if deadlines:
+            until_deadline = max(0.0, min(deadlines) - time.perf_counter()) + 0.01
+            wait_for = (
+                until_deadline if wait_for is None else min(wait_for, until_deadline)
+            )
+
+        ready = conn_wait(list(self._live) + list(extra), timeout=wait_for)
+        extra_set = set(extra)
+        ready_extras = [c for c in ready if c in extra_set]
+
+        events: list[WorkerEvent] = []
+        for conn in ready:
+            if conn in extra_set:
+                continue
+            handle = self._live.pop(conn)
+            elapsed = time.perf_counter() - handle.started
+            pid = handle.proc.pid
+            try:
+                status, payload = conn.recv()
+            except (EOFError, OSError):
+                handle.proc.join()
+                code = handle.proc.exitcode
+                events.append(WorkerEvent(
+                    handle.key, "crash",
+                    f"worker died without reporting (exit code {code})",
+                    elapsed, pid,
+                ))
+            else:
+                handle.proc.join()
+                events.append(WorkerEvent(handle.key, status, payload, elapsed, pid))
+            finally:
+                conn.close()
+
+        now = time.perf_counter()
+        overdue = [h for h in self._live.values() if now >= h.deadline()]
+        for handle in overdue:
+            del self._live[handle.conn]
+            kill_process(handle.proc)
+            handle.conn.close()
+            events.append(WorkerEvent(
+                handle.key, "timeout",
+                f"exceeded {handle.timeout:.0f}s deadline",
+                now - handle.started, handle.proc.pid,
+            ))
+        return events, ready_extras
+
+    def shutdown(self) -> None:
+        """Kill every live worker; leaves no orphans behind."""
+        for handle in self._live.values():
+            kill_process(handle.proc)
+            handle.conn.close()
+        self._live.clear()

@@ -1,0 +1,94 @@
+"""GeneratedCode pickling across process boundaries.
+
+The compiled kernel handle (``_func``) is a cache: ``__getstate__`` drops
+it, and ``function()`` rebuilds it by re-exec'ing the generated source.
+The suite engine and the serving daemon both ship results between
+processes, so the round trip is exercised here in a *fresh* interpreter —
+a subprocess that never saw the objects being unpickled — not just via an
+in-process ``pickle.loads``.
+"""
+
+import os
+import pickle
+import subprocess
+import sys
+import textwrap
+
+import numpy as np
+
+import repro
+from repro.frontend import parse_program
+from repro.pipeline import PipelineOptions, optimize
+from repro.runtime import random_arrays
+
+SRC = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++) {
+        C[i][j] = 0.0;
+        for (k = 0; k < N; k++)
+            C[i][j] = C[i][j] + A[i][k] * B[k][j];
+    }
+"""
+
+PARAMS = {"N": 5}
+
+
+def _result():
+    program = parse_program(SRC, "gemm-pickle", params=("N",))
+    return optimize(program, PipelineOptions(tile=True, tile_size=2))
+
+
+def _checksum(result) -> float:
+    arrays = random_arrays(result.source_program, PARAMS, seed=7)
+    result.code.run(arrays, PARAMS)
+    return float(np.sum(arrays["C"]))
+
+
+class TestPickleRoundTrip:
+    def test_getstate_drops_compiled_kernel(self):
+        result = _result()
+        _ = result.code.function  # force compilation
+        assert result.code._func is not None
+        assert result.code.__getstate__()["_func"] is None
+
+    def test_in_process_roundtrip_recompiles_lazily(self):
+        result = _result()
+        expected = _checksum(result)
+        clone = pickle.loads(pickle.dumps(result))
+        assert clone.code._func is None
+        assert _checksum(clone) == expected
+        assert clone.code.python_source == result.code.python_source
+
+    def test_fresh_subprocess_unpickles_and_runs(self, tmp_path):
+        result = _result()
+        expected = _checksum(result)
+        blob = tmp_path / "result.pkl"
+        blob.write_bytes(pickle.dumps(result))
+
+        script = textwrap.dedent(
+            """
+            import json, pickle, sys
+
+            import numpy as np
+
+            from repro.runtime import random_arrays
+
+            with open(sys.argv[1], "rb") as fh:
+                result = pickle.load(fh)
+            assert result.code._func is None, "kernel arrived precompiled"
+            params = {"N": 5}
+            arrays = random_arrays(result.source_program, params, seed=7)
+            result.code.run(arrays, params)
+            print(json.dumps({"checksum": float(np.sum(arrays["C"]))}))
+            """
+        )
+        src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+        env = dict(os.environ, PYTHONPATH=src_dir)
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(blob)],
+            capture_output=True, text=True, env=env, timeout=120,
+        )
+        assert proc.returncode == 0, proc.stderr
+        import json
+
+        assert json.loads(proc.stdout)["checksum"] == expected

@@ -6,6 +6,8 @@ from hypothesis import strategies as st
 
 from repro.polyhedra import AffExpr, BasicSet, Space, eq, ineq
 from repro.polyhedra.cache import (
+    DEFAULT_MAX_ENTRIES,
+    MISS,
     PolyCache,
     active_cache,
     cache_disabled,
@@ -147,12 +149,36 @@ class TestPolyCache:
         second["x"] = 99  # caller mutation must not poison the cache
         assert s.lexmin_point() == {"x": 3, "y": 1}
 
-    def test_overflow_clears_table(self, sp):
+    def test_overflow_evicts_least_recently_used(self, sp):
         cache = PolyCache(max_entries=2)
         cache.put_empty(("a",), True)
         cache.put_empty(("b",), False)
-        cache.put_empty(("c",), True)  # triggers wholesale clear first
-        assert len(cache) == 1
+        cache.get_empty(("a",))         # refresh a: b is now the LRU entry
+        cache.put_empty(("c",), True)   # evicts b only
+        assert len(cache) == 2
+        assert cache.get_empty(("a",)) is True
+        assert cache.get_empty(("b",)) is MISS
+        assert cache.get_empty(("c",)) is True
+        assert cache.stats.evictions == 1
+
+    def test_env_var_overrides_capacity(self, sp, monkeypatch):
+        monkeypatch.setenv("REPRO_POLY_CACHE_CAP", "3")
+        cache = PolyCache()
+        assert cache.max_entries == 3
+        for k in "abcd":
+            cache.put_min((k,), 0)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 1
+        monkeypatch.delenv("REPRO_POLY_CACHE_CAP")
+        assert PolyCache().max_entries == DEFAULT_MAX_ENTRIES
+
+    def test_reinsert_same_key_does_not_evict(self, sp):
+        cache = PolyCache(max_entries=2)
+        cache.put_empty(("a",), True)
+        cache.put_empty(("b",), False)
+        cache.put_empty(("a",), True)  # refresh, not growth
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
 
     def test_stats_consistency(self, sp):
         s = BasicSet.from_bounds(sp, {"x": (0, 5)})

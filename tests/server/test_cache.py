@@ -1,0 +1,154 @@
+"""Tests for the two-tier content-addressed schedule cache."""
+
+import json
+
+import pytest
+
+from repro.pipeline import RESULT_FORMAT_VERSION
+from repro.server.cache import ScheduleCache, cache_key, canonical_request
+
+PROGRAM = {"name": "p", "statements": [{"text": "A[i] = A[i-1];"}]}
+OPTIONS = {"algorithm": "plutoplus", "tile": True, "tile_size": 32}
+
+
+def _payload(marker="x"):
+    """A minimal valid cache value (format version is all _valid checks)."""
+    return json.dumps({"version": RESULT_FORMAT_VERSION, "marker": marker})
+
+
+class TestCacheKey:
+    def test_deterministic(self):
+        assert cache_key(PROGRAM, OPTIONS) == cache_key(PROGRAM, OPTIONS)
+
+    def test_key_is_hex_sha256(self):
+        key = cache_key(PROGRAM, OPTIONS)
+        assert len(key) == 64
+        int(key, 16)  # raises on non-hex
+
+    def test_insensitive_to_dict_ordering(self):
+        shuffled = dict(reversed(list(OPTIONS.items())))
+        assert cache_key(PROGRAM, shuffled) == cache_key(PROGRAM, OPTIONS)
+
+    def test_sensitive_to_any_option_change(self):
+        base = cache_key(PROGRAM, OPTIONS)
+        assert cache_key(PROGRAM, {**OPTIONS, "tile_size": 64}) != base
+
+    def test_sensitive_to_program_change(self):
+        other = {**PROGRAM, "statements": [{"text": "A[i] = 0;"}]}
+        assert cache_key(other, OPTIONS) != cache_key(PROGRAM, OPTIONS)
+
+    def test_folds_in_pipeline_fingerprint(self, monkeypatch):
+        base = cache_key(PROGRAM, OPTIONS)
+        monkeypatch.setattr(
+            "repro.server.cache.pipeline_fingerprint", lambda: "pipeline-v999"
+        )
+        assert cache_key(PROGRAM, OPTIONS) != base
+
+    def test_canonical_text_is_compact_and_sorted(self):
+        text = canonical_request(PROGRAM, OPTIONS)
+        assert ": " not in text and ", " not in text
+        assert json.loads(text)["options"] == OPTIONS
+
+
+class TestTiers:
+    def test_miss_then_memory_hit(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c")
+        key = cache_key(PROGRAM, OPTIONS)
+        assert cache.get(key) == (None, None)
+        cache.put(key, _payload())
+        assert cache.get(key) == (_payload(), "memory")
+        assert cache.stats.misses == 1
+        assert cache.stats.hits_memory == 1
+        assert cache.stats.stores == 1
+
+    def test_disk_survives_new_instance_and_promotes(self, tmp_path):
+        key = cache_key(PROGRAM, OPTIONS)
+        ScheduleCache(tmp_path / "c").put(key, _payload("cold"))
+
+        reborn = ScheduleCache(tmp_path / "c")
+        assert reborn.get(key) == (_payload("cold"), "disk")
+        # promoted into the memory tier on the way through
+        assert reborn.get(key) == (_payload("cold"), "memory")
+        assert reborn.stats.hits_disk == 1
+        assert reborn.stats.hits_memory == 1
+
+    def test_memory_only_mode(self):
+        cache = ScheduleCache(None)
+        key = cache_key(PROGRAM, OPTIONS)
+        cache.put(key, _payload())
+        assert cache.get(key) == (_payload(), "memory")
+        assert cache.path_for(key) is None
+        assert cache.disk_len() == 0
+
+    def test_memory_tier_disabled(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c", memory_entries=0)
+        key = cache_key(PROGRAM, OPTIONS)
+        cache.put(key, _payload())
+        assert cache.get(key) == (_payload(), "disk")
+        assert cache.get(key) == (_payload(), "disk")
+        assert cache.memory_len() == 0
+
+    def test_memory_lru_eviction(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c", memory_entries=2)
+        keys = [cache_key(PROGRAM, {**OPTIONS, "tile_size": n}) for n in (1, 2, 3)]
+        for k in keys:
+            cache.put(k, _payload(k[:8]))
+        assert cache.memory_len() == 2
+        assert cache.stats.evictions == 1
+        # the evicted entry falls back to the disk tier
+        assert cache.get(keys[0]) == (_payload(keys[0][:8]), "disk")
+        assert cache.get(keys[2])[1] == "memory"
+
+
+class TestDiskHygiene:
+    def test_atomic_write_leaves_no_tmp_files(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c")
+        key = cache_key(PROGRAM, OPTIONS)
+        cache.put(key, _payload())
+        leftovers = [
+            p for p in (tmp_path / "c").rglob("*") if ".tmp" in p.name
+        ]
+        assert leftovers == []
+        assert cache.path_for(key).read_text() == _payload()
+
+    def test_corrupt_file_dropped_as_miss(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c")
+        key = cache_key(PROGRAM, OPTIONS)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("{truncated by a killed writ")
+        assert cache.get(key) == (None, None)
+        assert cache.stats.invalid_dropped == 1
+        assert not path.exists()
+
+    def test_foreign_version_dropped_as_miss(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c")
+        key = cache_key(PROGRAM, OPTIONS)
+        path = cache.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps({"version": RESULT_FORMAT_VERSION + 999}))
+        assert cache.get(key) == (None, None)
+        assert cache.stats.invalid_dropped == 1
+        assert not path.exists()
+
+    def test_snapshot_reports_both_tiers(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c", memory_entries=5)
+        cache.put(cache_key(PROGRAM, OPTIONS), _payload())
+        snap = cache.snapshot()
+        assert snap["memory_entries"] == 1
+        assert snap["memory_capacity"] == 5
+        assert snap["disk_entries"] == 1
+        assert snap["stores"] == 1
+        assert snap["cache_dir"] == str(tmp_path / "c")
+
+
+class TestStats:
+    def test_hit_rate(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "c")
+        key = cache_key(PROGRAM, OPTIONS)
+        cache.get(key)          # miss
+        cache.put(key, _payload())
+        cache.get(key)          # memory hit
+        assert cache.stats.lookups == 2
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+        assert cache.stats.as_dict()["hit_rate"] == pytest.approx(0.5)

@@ -1,0 +1,299 @@
+"""End-to-end daemon tests over real Unix sockets.
+
+The daemon runs on a background thread inside the test process; worker
+behavior is injected by swapping the pool supervisor's job body for a
+scripted one — forked workers inherit the swap, and the script keys off
+the serialized program's *name*, so hostile behavior (crash, hang, slow)
+is selected per request.  Fork-gated like the suite-engine tests.
+"""
+
+import json
+import multiprocessing
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro import __version__
+from repro.frontend import parse_program
+from repro.frontend.serialize import program_to_dict
+from repro.pipeline import RESULT_FORMAT_VERSION, PipelineOptions, optimize
+from repro.server import Daemon, DaemonConfig, ServerClient
+from repro.server.protocol import PROTOCOL_VERSION
+
+pytestmark = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="behavior injection requires forked workers",
+)
+
+TINY = """
+for (i = 1; i < N; i++)
+    A[i] = 0.5 * A[i-1];
+"""
+
+
+def _program(name: str) -> dict:
+    """Distinct names → distinct serialized IR → distinct cache keys."""
+    return program_to_dict(parse_program(TINY, name, params=("N",)))
+
+
+def _scripted(payload):
+    """Injected job body: the program name selects the behavior."""
+    name = payload["program"]["name"]
+    if name.startswith("crash"):
+        os._exit(9)
+    if name.startswith("hang"):
+        time.sleep(60)
+    if name.startswith("slow"):
+        time.sleep(0.6)
+    return json.dumps({"version": RESULT_FORMAT_VERSION, "marker": name})
+
+
+@pytest.fixture
+def daemon_factory(tmp_path):
+    """Start daemons on background threads; drain them all afterwards."""
+    started = []
+
+    def make(scripted=True, **cfg):
+        cfg.setdefault("jobs", 2)
+        cfg.setdefault("drain_seconds", 2.0)
+        cfg.setdefault("cache_dir", str(tmp_path / "cache"))
+        config = DaemonConfig(
+            socket_path=str(tmp_path / f"d{len(started)}.sock"), **cfg
+        )
+        daemon = Daemon(config)
+        if scripted:
+            daemon.pool._sup.fn = _scripted
+        thread = threading.Thread(target=daemon.serve, daemon=True)
+        thread.start()
+        deadline = time.time() + 10
+        while not os.path.exists(config.socket_path):
+            assert thread.is_alive(), "daemon died during startup"
+            assert time.time() < deadline, "daemon never bound its socket"
+            time.sleep(0.01)
+        started.append((daemon, thread))
+        return daemon
+
+    yield make
+    for daemon, thread in started:
+        daemon.shutdown()
+        thread.join(timeout=20)
+        assert not thread.is_alive()
+
+
+def _client(daemon, **kwargs) -> ServerClient:
+    return ServerClient(socket_path=daemon.config.socket_path, **kwargs)
+
+
+class TestBasics:
+    def test_ping_carries_versions(self, daemon_factory):
+        with _client(daemon_factory()) as client:
+            resp = client.ping()
+        assert resp["status"] == "ok"
+        assert resp["protocol"] == PROTOCOL_VERSION
+        assert resp["server_version"] == __version__
+
+    def test_request_id_echoed(self, daemon_factory):
+        with _client(daemon_factory()) as client:
+            resp = client.request({"type": "ping", "id": "req-42"})
+        assert resp["id"] == "req-42"
+
+    def test_garbage_line_answered_not_fatal(self, daemon_factory):
+        daemon = daemon_factory()
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as raw:
+            raw.connect(daemon.config.socket_path)
+            raw.sendall(b"{this is not json\n")
+            rfile = raw.makefile("rb")
+            resp = json.loads(rfile.readline())
+            assert resp["status"] == "error"
+            assert resp["kind"] == "bad-request"
+            # the connection is still usable afterwards
+            raw.sendall(b'{"type": "ping"}\n')
+            assert json.loads(rfile.readline())["status"] == "ok"
+
+    def test_stats_request_shape(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            client.optimize(program=_program("ok-stats"))
+            resp = client.stats()
+        server = resp["stats"]["server"]
+        assert server["optimize_requests"] == 1
+        assert server["misses"] == 1
+        assert server["jobs"] == 2
+        assert server["in_flight"] == 0
+        assert resp["stats"]["cache"]["stores"] == 1
+
+
+class TestBadRequests:
+    def test_unknown_workload(self, daemon_factory):
+        with _client(daemon_factory()) as client:
+            resp = client.optimize("no-such-workload")
+        assert resp["status"] == "error"
+        assert resp["kind"] == "bad-request"
+        assert "no-such-workload" in resp["message"]
+
+    def test_unknown_option_field(self, daemon_factory):
+        with _client(daemon_factory()) as client:
+            resp = client.optimize(
+                program=_program("p"), options={"frobnicate": 1}
+            )
+        assert resp["status"] == "error"
+        assert "frobnicate" in resp["message"]
+
+    def test_unknown_request_type(self, daemon_factory):
+        with _client(daemon_factory()) as client:
+            resp = client.request({"type": "frobnicate"})
+        assert resp["kind"] == "bad-request"
+        assert "unknown request type" in resp["message"]
+
+
+class TestCachePath:
+    def test_miss_then_memory_hit_byte_identical(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            cold = client.optimize(program=_program("ok-a"))
+            warm = client.optimize(program=_program("ok-a"))
+        assert cold["status"] == warm["status"] == "ok"
+        assert cold["cache"] == "miss"
+        assert warm["cache"] == "hit-memory"
+        assert warm["key"] == cold["key"]
+        assert warm["result"] == cold["result"]
+
+    def test_disk_cache_survives_restart(self, daemon_factory, tmp_path):
+        first = daemon_factory()
+        with _client(first) as client:
+            cold = client.optimize(program=_program("ok-persist"))
+        first.shutdown()
+
+        second = daemon_factory()  # same cache_dir, empty memory tier
+        with _client(second) as client:
+            warm = client.optimize(program=_program("ok-persist"))
+        assert warm["cache"] == "hit-disk"
+        assert warm["result"] == cold["result"]
+
+    def test_distinct_options_are_distinct_keys(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            a = client.optimize(program=_program("ok-opt"))
+            b = client.optimize(
+                program=_program("ok-opt"), options={"tile_size": 64}
+            )
+        assert a["key"] != b["key"]
+        assert b["cache"] == "miss"
+
+    def test_single_flight_coalesces_concurrent_identical(self, daemon_factory):
+        daemon = daemon_factory()
+        responses = []
+
+        def ask():
+            with _client(daemon) as client:
+                responses.append(client.optimize(program=_program("slow-sf")))
+
+        threads = [threading.Thread(target=ask) for _ in range(2)]
+        threads[0].start()
+        time.sleep(0.2)  # let the first request own the flight
+        threads[1].start()
+        for t in threads:
+            t.join(timeout=30)
+        assert {r["status"] for r in responses} == {"ok"}
+        assert sorted(r["cache"] for r in responses) == ["coalesced", "miss"]
+        assert responses[0]["result"] == responses[1]["result"]
+        with _client(daemon) as client:
+            server = client.stats()["stats"]["server"]
+        assert server["coalesced"] == 1
+        assert server["misses"] == 1
+
+
+class TestFaultIsolation:
+    def test_worker_crash_is_structured_error(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            resp = client.optimize(program=_program("crash-x"))
+            assert resp["status"] == "error"
+            assert resp["kind"] == "crash"
+            assert "exit code 9" in resp["message"]
+            # the daemon survives its worker
+            assert client.ping()["status"] == "ok"
+            assert client.optimize(program=_program("ok-after"))["status"] == "ok"
+
+    def test_hung_worker_killed_at_deadline(self, daemon_factory):
+        daemon = daemon_factory(timeout=0.5)
+        t0 = time.perf_counter()
+        with _client(daemon) as client:
+            resp = client.optimize(program=_program("hang-x"))
+        assert time.perf_counter() - t0 < 30
+        assert resp["status"] == "error"
+        assert resp["kind"] == "timeout"
+        assert "deadline" in resp["message"]
+
+    def test_saturated_pool_answers_busy(self, daemon_factory):
+        daemon = daemon_factory(jobs=1, backlog=0)
+        slow_resp = []
+
+        def ask_slow():
+            with _client(daemon) as client:
+                slow_resp.append(client.optimize(program=_program("slow-busy")))
+
+        slow_thread = threading.Thread(target=ask_slow)
+        slow_thread.start()
+        time.sleep(0.25)  # let the slow job occupy the only slot
+        with _client(daemon) as client:
+            busy = client.optimize(program=_program("ok-rejected"))
+        slow_thread.join(timeout=30)
+        assert busy["status"] == "busy"
+        assert busy["in_flight"] == 1
+        assert "retry" in busy["message"]
+        assert slow_resp[0]["status"] == "ok"
+
+
+class TestShutdown:
+    def test_shutdown_request_drains_and_exits(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            resp = client.shutdown()
+        assert resp["status"] == "ok" and resp["draining"] is True
+        deadline = time.time() + 15
+        while os.path.exists(daemon.config.socket_path):
+            assert time.time() < deadline, "socket never removed on shutdown"
+            time.sleep(0.05)
+
+
+class TestRealPipeline:
+    def test_program_request_matches_in_process_optimize(self, daemon_factory):
+        daemon = daemon_factory(scripted=False)
+        program = parse_program(TINY, "tiny", params=("N",))
+        with _client(daemon) as client:
+            resp = client.optimize(
+                program=program_to_dict(program), options={"tile": False}
+            )
+        assert resp["status"] == "ok"
+        local_payload = json.loads(
+            optimize(program, PipelineOptions(tile=False)).to_json()
+        )
+        # timings and solver counters vary run to run; the transformation
+        # itself must not
+        for field in ("schedule", "tiled", "code", "program", "options",
+                      "used_iss", "used_diamond", "version"):
+            assert resp["result"][field] == local_payload[field]
+
+    def test_workload_request_resolves_paper_flags(self, daemon_factory):
+        daemon = daemon_factory(scripted=False)
+        with _client(daemon) as client:
+            resp = client.optimize("fig3-symmetric-deps", options={"tile": False})
+        assert resp["status"] == "ok"
+        # fig3 is registered with iss=True; the daemon fills that in
+        assert resp["result"]["options"]["iss"] is True
+        assert resp["result"]["used_iss"] is True
+
+    def test_client_rebuilds_optimization_result(self, daemon_factory):
+        daemon = daemon_factory(scripted=False)
+        program = parse_program(TINY, "tiny", params=("N",))
+        with _client(daemon) as client:
+            result = client.optimize_result(
+                program=program_to_dict(program), options={"tile": False}
+            )
+        local = optimize(program, PipelineOptions(tile=False))
+        assert result.schedule.to_dict() == local.schedule.to_dict()
+        assert result.code.python_source == local.code.python_source

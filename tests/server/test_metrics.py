@@ -1,0 +1,97 @@
+"""Tests for serving metrics: counters, hit rate, latency percentiles."""
+
+import pytest
+
+from repro.server.metrics import LatencyWindow, ServerMetrics
+
+
+class TestLatencyWindow:
+    def test_empty_percentiles_are_none(self):
+        window = LatencyWindow()
+        assert window.percentile(0.5) is None
+        assert window.as_dict() == {
+            "count": 0, "p50": None, "p90": None, "p99": None, "max": None,
+        }
+
+    def test_percentiles_from_samples(self):
+        window = LatencyWindow()
+        for ms in range(1, 101):
+            window.record(ms / 1000.0)
+        assert window.percentile(0.5) == pytest.approx(0.051)
+        assert window.percentile(0.99) == pytest.approx(0.1)
+        d = window.as_dict()
+        assert d["count"] == 100
+        assert d["max"] == pytest.approx(0.1)
+
+    def test_window_bounds_samples_but_not_count(self):
+        window = LatencyWindow(window=4)
+        for i in range(10):
+            window.record(float(i))
+        assert window.count == 10
+        assert window.percentile(0.0) == 6.0  # oldest surviving sample
+
+
+class TestServerMetrics:
+    def test_outcome_counters(self):
+        m = ServerMetrics()
+        for tag in ("hit-memory", "hit-disk", "coalesced", "miss", "miss"):
+            m.count_outcome(tag)
+        assert m.ok == 5
+        assert (m.hits_memory, m.hits_disk, m.coalesced, m.misses) == (1, 1, 1, 2)
+
+    def test_hit_rate_counts_coalesced_as_hit(self):
+        m = ServerMetrics()
+        m.count_outcome("coalesced")
+        m.count_outcome("miss")
+        assert m.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_empty_is_zero(self):
+        assert ServerMetrics().hit_rate == 0.0
+
+    def test_error_and_busy_counters(self):
+        m = ServerMetrics()
+        m.count_busy()
+        m.count_error("crash")
+        m.count_error("crash")
+        m.count_error("timeout")
+        assert m.busy == 1
+        assert m.errors == {"crash": 2, "timeout": 1}
+
+    def test_request_counters(self):
+        m = ServerMetrics()
+        m.count_request("ping")
+        m.count_request("optimize")
+        m.count_request("optimize")
+        assert m.requests == 3
+        assert m.optimize_requests == 2
+
+    def test_snapshot_splices_gauges(self):
+        m = ServerMetrics()
+        m.count_request("optimize")
+        m.count_outcome("miss")
+        m.observe("total", 0.25)
+        m.observe("compute", 0.2)
+        snap = m.snapshot(in_flight=3, queue_depth=1)
+        assert snap["in_flight"] == 3
+        assert snap["queue_depth"] == 1
+        assert snap["misses"] == 1
+        assert snap["latency"]["total"]["count"] == 1
+        assert snap["latency"]["total"]["p50"] == pytest.approx(0.25)
+        assert snap["latency"]["compute"]["p50"] == pytest.approx(0.2)
+        assert snap["latency"]["lookup"]["count"] == 0
+        assert snap["uptime_seconds"] >= 0
+
+    def test_summary_line(self):
+        m = ServerMetrics()
+        m.count_request("optimize")
+        m.count_outcome("hit-memory")
+        m.count_request("optimize")
+        m.count_outcome("miss")
+        m.observe("total", 0.5)
+        line = m.summary_line()
+        assert "served 2 optimize request(s)" in line
+        assert "hit rate 0.50" in line
+        assert "p50 total 0.500s" in line
+
+    def test_summary_line_before_any_request(self):
+        assert "p50 total n/a" in ServerMetrics().summary_line()

@@ -1,0 +1,110 @@
+"""Unit tests for the JSON-lines wire protocol."""
+
+import io
+import json
+
+import pytest
+
+from repro import __version__
+from repro.server.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    error_response,
+    read_message,
+    response_header,
+    validate_request,
+    write_message,
+)
+
+
+def _roundtrip(*objs):
+    buf = io.BytesIO()
+    for obj in objs:
+        write_message(buf, obj)
+    buf.seek(0)
+    return buf
+
+
+class TestFraming:
+    def test_write_then_read_roundtrips(self):
+        buf = _roundtrip({"type": "ping", "id": 7})
+        assert read_message(buf) == {"type": "ping", "id": 7}
+
+    def test_messages_are_single_lines(self):
+        buf = _roundtrip({"type": "ping"}, {"type": "stats"})
+        lines = buf.getvalue().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line) for line in lines)
+
+    def test_eof_reads_as_none(self):
+        assert read_message(io.BytesIO(b"")) is None
+
+    def test_blank_lines_skipped(self):
+        buf = io.BytesIO(b"\n   \n" + json.dumps({"type": "ping"}).encode() + b"\n")
+        assert read_message(buf) == {"type": "ping"}
+
+    def test_garbage_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            read_message(io.BytesIO(b"{nope\n"))
+
+    def test_non_object_raises_protocol_error(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            read_message(io.BytesIO(b"[1, 2]\n"))
+
+
+class TestValidation:
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown request type"):
+            validate_request({"type": "frobnicate"})
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ProtocolError):
+            validate_request({})
+
+    def test_optimize_needs_workload_or_program(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            validate_request({"type": "optimize"})
+
+    def test_optimize_rejects_both_workload_and_program(self):
+        with pytest.raises(ProtocolError, match="exactly one"):
+            validate_request(
+                {"type": "optimize", "workload": "w", "program": {}}
+            )
+
+    def test_optimize_options_must_be_object(self):
+        with pytest.raises(ProtocolError, match="'options'"):
+            validate_request(
+                {"type": "optimize", "workload": "w", "options": [1]}
+            )
+
+    def test_valid_requests_pass_through(self):
+        for req in (
+            {"type": "ping"},
+            {"type": "stats"},
+            {"type": "shutdown"},
+            {"type": "optimize", "workload": "heat-2dp"},
+            {"type": "optimize", "program": {"name": "p"}, "options": {}},
+        ):
+            assert validate_request(req) is req
+
+
+class TestResponses:
+    def test_header_carries_versions(self):
+        header = response_header()
+        assert header == {
+            "protocol": PROTOCOL_VERSION,
+            "server_version": __version__,
+        }
+
+    def test_header_echoes_request_id(self):
+        assert response_header({"type": "ping", "id": "abc"})["id"] == "abc"
+        assert "id" not in response_header({"type": "ping"})
+
+    def test_error_response_shape(self):
+        resp = error_response({"id": 3}, "bad-request", "nope")
+        assert resp["status"] == "error"
+        assert resp["kind"] == "bad-request"
+        assert resp["message"] == "nope"
+        assert resp["id"] == 3
+        assert resp["protocol"] == PROTOCOL_VERSION
+        assert resp["server_version"] == __version__

@@ -1,7 +1,14 @@
 """Tests for the command-line driver."""
 
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 
 FIG1 = """
@@ -220,3 +227,98 @@ class TestCLIDepsCache:
         assert "# dependence stats:" in err
         assert "pairs_tested" in err
         assert "fast_rejects" in err
+
+
+class TestCLIVersion:
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro {repro.__version__}"
+
+    def test_dunder_version_is_a_version_string(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) >= 2
+        assert all(p.isdigit() for p in parts[:2])
+
+
+class TestCLIServeParsing:
+    def test_serve_parser(self):
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/x.sock", "--jobs", "4",
+             "--cache-dir", "cache", "--report"]
+        )
+        assert args.command == "serve"
+        assert args.jobs == 4 and args.report and args.cache_dir == "cache"
+
+    def test_serve_needs_endpoint(self):
+        with pytest.raises(SystemExit, match="serve needs"):
+            main(["serve"])
+
+    def test_client_needs_endpoint(self):
+        with pytest.raises(SystemExit, match="client needs"):
+            main(["client", "ping"])
+
+    def test_client_opt_parser(self):
+        args = build_parser().parse_args(
+            ["client", "opt", "--workload", "heat-2dp", "--socket", "/tmp/x",
+             "--tile", "0", "--emit", "summary"]
+        )
+        assert args.client_command == "opt"
+        assert args.tile == 0 and args.emit == "summary"
+
+    def test_client_opt_needs_source(self, tmp_path):
+        with pytest.raises(SystemExit, match="source file or --workload"):
+            main(["client", "opt", "--socket", str(tmp_path / "x.sock")])
+
+
+class TestCLIServeEndToEnd:
+    """One real daemon subprocess driven through the client commands."""
+
+    def test_serve_ping_opt_shutdown(self, tmp_path, capsys):
+        sock = str(tmp_path / "repro.sock")
+        env = dict(
+            os.environ,
+            PYTHONPATH=str(Path(repro.__file__).resolve().parents[1]),
+        )
+        daemon = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--socket", sock,
+             "--jobs", "1", "--cache-dir", str(tmp_path / "cache"),
+             "--report"],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            deadline = time.time() + 30
+            while not os.path.exists(sock):
+                assert daemon.poll() is None, daemon.stderr.read()
+                assert time.time() < deadline, "daemon never bound its socket"
+                time.sleep(0.05)
+
+            assert main(["client", "ping", "--socket", sock]) == 0
+            assert "ok: server" in capsys.readouterr().out
+
+            rc = main(["client", "opt", "--workload", "fig1-skew",
+                       "--socket", sock, "--emit", "summary"])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert "cache miss" in captured.out
+
+            rc = main(["client", "opt", "--workload", "fig1-skew",
+                       "--socket", sock, "--emit", "summary"])
+            captured = capsys.readouterr()
+            assert rc == 0
+            assert "cache hit-memory" in captured.out
+
+            assert main(["client", "stats", "--socket", sock]) == 0
+            assert '"hits_memory": 1' in capsys.readouterr().out
+
+            assert main(["client", "shutdown", "--socket", sock]) == 0
+            assert "draining: True" in capsys.readouterr().out
+            _, err = daemon.communicate(timeout=30)
+            assert daemon.returncode == 0, err
+            assert "# served 2 optimize request(s)" in err
+        finally:
+            if daemon.poll() is None:
+                daemon.kill()
+                daemon.communicate()

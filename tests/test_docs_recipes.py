@@ -41,6 +41,39 @@ def test_ring_builder_recipe():
     assert validate_transformation(res.program, res.tiled, {"T": 5, "N": 11}).ok
 
 
+def test_serving_recipe(tmp_path):
+    """The USAGE.md "Scheduling as a service" Python snippet."""
+    import threading
+
+    from repro.server import Daemon, DaemonConfig, ServerClient
+
+    config = DaemonConfig(
+        socket_path=str(tmp_path / "repro.sock"),
+        cache_dir=str(tmp_path / "cache"),
+        jobs=1,
+        drain_seconds=5.0,
+    )
+    daemon = Daemon(config)
+    thread = threading.Thread(target=daemon.serve, daemon=True)
+    thread.start()
+    try:
+        import os
+        import time
+
+        deadline = time.time() + 10
+        while not os.path.exists(config.socket_path):
+            assert time.time() < deadline
+            time.sleep(0.01)
+        with ServerClient(socket_path=config.socket_path) as client:
+            response = client.optimize("fig1-skew")
+            assert response["status"] == "ok" and response["cache"] == "miss"
+            result = client.optimize_result("fig1-skew")
+            assert result.schedule.depth >= 1
+    finally:
+        daemon.shutdown()
+        thread.join(timeout=15)
+
+
 def test_quickstart_readme_snippet():
     program = parse_program(
         """
