@@ -1,0 +1,186 @@
+"""Quick-permutation scheduler baseline: heuristic vs exact search time.
+
+Runs the full pipeline twice per workload — once with
+``scheduler="exact"`` (the per-level Farkas/lexmin ILP search) and once
+with ``scheduler="auto"`` (the fusion + dimension-matching heuristic with
+exact fallback) — and writes ``BENCH_quick.json`` with:
+
+* per-workload scheduling time under both modes, the arbitration outcome
+  (``quick`` / ``fallback``), and the fallback reason when the heuristic
+  bowed out;
+* the geometric-mean scheduling speedup over the *quick-won* kernels (the
+  permutation-findable ones, where the heuristic replaces every ILP);
+* the win rate, and the worst-case ``auto`` overhead on fallback kernels
+  (candidate validation time the exact search then repeats).
+
+Every quick-won schedule is re-checked by the independent verifier — the
+heuristic is legal by construction, and this bench enforces it.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/scheduler_quick.py [-o BENCH_quick.json]
+
+``REPRO_BENCH_SCALE=quick`` runs the representative subset.  Exits
+non-zero if any quick schedule fails verification, the geomean speedup on
+quick-won kernels is < 5x, or auto's fallback overhead exceeds its
+measured validation time plus noise margin.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from repro import api
+from repro.polyhedra.cache import global_cache
+from repro.reporting import format_table, geomean
+from repro.workloads import get_workload
+
+#: Polybench kernels (permutation territory) plus the periodic suite
+#: (diamond territory — ``auto`` must step aside instantly).
+WORKLOADS = [
+    "gemm", "2mm", "3mm", "atax", "bicg", "cholesky", "doitgen",
+    "gemver", "gesummv", "mvt", "symm", "syr2k", "syrk", "trisolv",
+    "durbin", "gramschmidt", "lu", "ludcmp", "correlation", "covariance",
+    "floyd-warshall", "jacobi-1d-imper", "jacobi-2d-imper", "seidel-2d",
+    "fdtd-2d",
+    "heat-1dp", "heat-2dp", "lbm-ldc-d2q9", "lbm-poi-d2q9", "swim",
+]
+
+_QUICK = [
+    "gemm", "2mm", "atax", "cholesky", "gemver", "mvt", "lu",
+    "correlation", "jacobi-2d-imper", "seidel-2d", "floyd-warshall",
+    "heat-1dp", "heat-2dp", "lbm-ldc-d2q9",
+]
+
+#: Noise margin on the auto-overhead gate (seconds).
+OVERHEAD_SLACK = 0.5
+
+
+def _run(name: str, scheduler: str):
+    """One cold pipeline run; returns (result, scheduling seconds)."""
+    w = get_workload(name)
+    global_cache().clear()  # no cross-run carry-over
+    result = api.optimize(
+        w.program(), w.pipeline_options("plutoplus", scheduler=scheduler)
+    )
+    return result, result.timing.auto_transformation
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("-o", "--output", default="BENCH_quick.json")
+    args = parser.parse_args(argv)
+
+    names = _QUICK if os.environ.get("REPRO_BENCH_SCALE") == "quick" else WORKLOADS
+    entries = []
+    illegal = []
+    slow_fallbacks = []
+    for name in names:
+        exact, t_exact = _run(name, "exact")
+        auto, t_auto = _run(name, "auto")
+        stats = auto.scheduler_stats
+        path = stats.scheduler_path
+        entry = {
+            "workload": name,
+            "scheduler_path": path,
+            "fallback_reason": stats.fallback_reason,
+            "sched_seconds_exact": t_exact,
+            "sched_seconds_auto": t_auto,
+            "quick_seconds": stats.quick_seconds,
+            "quick_candidates": stats.quick_candidates,
+            "quick_validations": stats.quick_validations,
+            "lp_solves_auto": stats.solve.lp_solves,
+            "fusion_groups": stats.fusion_groups,
+        }
+        if path == "quick":
+            report = api.verify(auto)
+            entry["verified_legal"] = report.legal
+            entry["speedup"] = t_exact / t_auto if t_auto > 0 else float("inf")
+            if not report.legal:
+                illegal.append(name)
+        else:
+            # the heuristic's candidate work is the only admissible overhead
+            overhead = t_auto - t_exact
+            entry["fallback_overhead_seconds"] = overhead
+            if overhead > stats.quick_seconds + OVERHEAD_SLACK + 0.2 * t_exact:
+                slow_fallbacks.append(name)
+        entries.append(entry)
+        tail = (
+            f"{entry['speedup']:.1f}x"
+            if path == "quick"
+            else f"fallback ({stats.fallback_reason})"
+        )
+        print(
+            f"{name}: exact {t_exact:.3f}s, auto {t_auto:.3f}s [{tail}]",
+            flush=True,
+        )
+
+    won = [e for e in entries if e["scheduler_path"] == "quick"]
+    g_speedup = geomean([e["speedup"] for e in won])
+    win_rate = len(won) / len(entries) if entries else 0.0
+    report = {
+        "workloads": entries,
+        "quick_won": len(won),
+        "fell_back": len(entries) - len(won),
+        "win_rate": win_rate,
+        "geomean_speedup_quick_won": g_speedup,
+        "geomean_sched_seconds_exact": geomean(
+            [e["sched_seconds_exact"] for e in won]
+        ),
+        "geomean_sched_seconds_quick": geomean(
+            [e["sched_seconds_auto"] for e in won]
+        ),
+        "all_quick_schedules_legal": not illegal,
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+
+    print("\nScheduling time, quick heuristic vs exact search (seconds)")
+    print(
+        format_table(
+            ["workload", "exact", "auto", "path", "speedup"],
+            [
+                [
+                    e["workload"],
+                    e["sched_seconds_exact"],
+                    e["sched_seconds_auto"],
+                    e["scheduler_path"],
+                    f"{e['speedup']:.1f}x" if "speedup" in e else "-",
+                ]
+                for e in entries
+            ],
+        )
+    )
+    print(
+        f"  quick won {len(won)}/{len(entries)} "
+        f"(win rate {win_rate:.0%}), geomean speedup {g_speedup:.1f}x"
+    )
+    print(f"  wrote {args.output}")
+
+    if illegal:
+        print(
+            f"FAIL: quick schedule failed verification on {', '.join(illegal)}",
+            file=sys.stderr,
+        )
+        return 1
+    if won and g_speedup < 5.0:
+        print(
+            f"FAIL: geomean speedup {g_speedup:.2f}x < 5x on quick-won kernels",
+            file=sys.stderr,
+        )
+        return 1
+    if slow_fallbacks:
+        print(
+            f"FAIL: auto fallback overhead beyond validation time on "
+            f"{', '.join(slow_fallbacks)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

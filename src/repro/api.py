@@ -12,6 +12,14 @@ reorganized freely between versions; see ``docs/API.md``.
     report = api.verify(result)
     deps = api.analyze_dependences("heat-1dp")
     names = api.list_workloads("periodic")
+
+Scheduling strategy is a :class:`PipelineOptions` knob: the kw-only
+``scheduler`` field selects the exact per-level ILP search (``"exact"``,
+the default), the quick fusion + dimension-matching heuristic
+(``"quick"``), or the heuristic with exact fallback (``"auto"``)::
+
+    result = api.optimize("gemm", api.PipelineOptions(scheduler="auto"))
+    result.scheduler_stats.scheduler_path   # "quick" | "fallback" | "exact"
 """
 
 from __future__ import annotations

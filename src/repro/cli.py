@@ -80,6 +80,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--ilp-backend", choices=("auto", "exact", "highs"),
                      default="highs",
                      help="lexmin ILP backend (auto switches on model size)")
+    opt.add_argument("--scheduler", choices=("auto", "exact", "quick"),
+                     default="exact",
+                     help="hyperplane search: exact per-level ILPs (default), "
+                          "the quick fusion + dimension-matching heuristic, "
+                          "or auto (quick with exact fallback)")
     opt.add_argument("--stats", action="store_true",
                      help="print solver counters (pivots, B&B nodes, "
                           "warm-start hits, ...) to stderr")
@@ -92,6 +97,10 @@ def build_parser() -> argparse.ArgumentParser:
     ver.add_argument("--algorithm", choices=("pluto", "plutoplus"), default="plutoplus")
     ver.add_argument("--iss", action="store_true")
     ver.add_argument("--diamond", action="store_true")
+    ver.add_argument("--scheduler", choices=("auto", "exact", "quick"),
+                     default="exact",
+                     help="hyperplane search used to produce the schedule "
+                          "under verification")
     ver.add_argument("--schedule", metavar="FILE",
                      help="verify this exported schedule (JSON from "
                           "`opt --emit schedule-json`) instead of running "
@@ -122,7 +131,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "the paper's Table 2 suite)")
     suite.add_argument("--variants", default="plutoplus",
                        help="comma-separated option variants "
-                            "(plutoplus, pluto, notile, l2tile)")
+                            "(plutoplus, pluto, notile, l2tile, quick, auto)")
     suite.add_argument("--out", default="runs", metavar="DIR",
                        help="manifest root directory (default: runs/)")
     suite.add_argument("--resume", metavar="DIR",
@@ -184,6 +193,9 @@ def build_parser() -> argparse.ArgumentParser:
     copt.add_argument("--fuse", choices=("smart", "max", "no"), default=None)
     copt.add_argument("--ilp-backend", choices=("auto", "exact", "highs"),
                       default=None)
+    copt.add_argument("--scheduler", choices=("auto", "exact", "quick"),
+                      default=None,
+                      help="hyperplane search (daemon default: exact)")
     copt.add_argument("--emit", choices=("schedule-json", "json", "summary"),
                       default="schedule-json",
                       help="what to print: the schedule export (default), "
@@ -252,6 +264,7 @@ def _pipeline_options(args) -> PipelineOptions:
         l2tile=getattr(args, "l2tile", False),
         intra_tile=getattr(args, "intra_tile", False),
         deps_cache=not getattr(args, "no_deps_cache", False),
+        scheduler=getattr(args, "scheduler", "exact"),
     )
 
 
@@ -260,6 +273,12 @@ def _cmd_opt(args) -> int:
     result = optimize(program, _pipeline_options(args))
     print(f"# {program.name}: {args.algorithm}", file=sys.stderr)
     print(f"# ISS: {result.used_iss}, diamond: {result.used_diamond}", file=sys.stderr)
+    if result.scheduler_stats is not None:
+        st = result.scheduler_stats
+        line = f"# scheduler: {st.scheduler_mode} -> {st.scheduler_path}"
+        if st.fallback_reason:
+            line += f" ({st.fallback_reason})"
+        print(line, file=sys.stderr)
     print(f"# timing: {result.timing.as_dict()}", file=sys.stderr)
     if getattr(args, "stats", False) and result.scheduler_stats is not None:
         from repro.reporting import format_dep_stats, format_solve_stats
@@ -326,6 +345,7 @@ def _pipeline_options_noemit(args) -> PipelineOptions:
         algorithm=args.algorithm,
         iss=getattr(args, "iss", False),
         diamond=getattr(args, "diamond", False),
+        scheduler=getattr(args, "scheduler", "exact"),
     )
 
 
@@ -466,6 +486,8 @@ def _client_overrides(args) -> dict:
         overrides["fuse"] = args.fuse
     if args.ilp_backend is not None:
         overrides["ilp_backend"] = args.ilp_backend
+    if args.scheduler is not None:
+        overrides["scheduler"] = args.scheduler
     return overrides
 
 

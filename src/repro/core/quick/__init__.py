@@ -1,0 +1,43 @@
+"""Quick-permutation scheduling: fusion + dimension matching, no ILP.
+
+Implements the heuristic fast path from Acharya & Bondhugula, "An Approach
+for Finding Permutations Quickly: Fusion and Dimension Matching"
+(arXiv:1803.10726), the follow-up to the Pluto+ paper this repo reproduces:
+most real invocations of a polyhedral optimizer admit a schedule that is a
+*permutation* of the original loop dimensions (plus Pluto's fusion/
+distribution structure), and such schedules can be found by matching
+dimensions across statements and validating candidate rows against the
+exact dependence relations — skipping the per-level lexmin ILP entirely.
+
+The package provides three pieces:
+
+* :class:`~repro.core.quick.matching.DimensionMatching` — aligns loop
+  dimensions of different statements through the equality structure of the
+  dependence polyhedra (the paper's dimension-matching step);
+* :class:`~repro.core.quick.scheduler.QuickScheduler` — the Pluto
+  scheduling loop (band growth, SCC fusion cuts, exact satisfaction
+  bookkeeping) with the ILP hyperplane search replaced by candidate
+  permutation rows validated exactly with per-dependence LP minima;
+* :func:`~repro.core.quick.driver.attempt_quick_schedule` — the pipeline
+  entry point enforcing the fallback contract: the heuristic result is used
+  only when it exists, is exactly legal (by construction), and — in
+  ``auto`` mode — clears the tilability bound; otherwise the caller runs
+  the exact Pluto+ search and the reason is recorded in
+  :class:`~repro.core.scheduler.SchedulerStats`.
+"""
+
+from repro.core.quick.driver import (
+    attempt_quick_schedule,
+    fusion_groups_of,
+    quick_bound_shortfall,
+)
+from repro.core.quick.matching import DimensionMatching
+from repro.core.quick.scheduler import QuickScheduler
+
+__all__ = [
+    "DimensionMatching",
+    "QuickScheduler",
+    "attempt_quick_schedule",
+    "fusion_groups_of",
+    "quick_bound_shortfall",
+]

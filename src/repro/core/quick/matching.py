@@ -1,0 +1,134 @@
+"""Dimension matching: align loop dimensions across statements.
+
+Two dimensions ``i`` of statement ``S`` and ``j`` of statement ``T`` are
+*matched* when some dependence between ``S`` and ``T`` couples them with an
+equality — its polyhedron contains a row ``±(t_j - s_i) + f(params) = 0``
+whose dimension support is exactly that pair.  Such rows come straight from
+the conflict equalities of the access functions (``A[i]`` written, ``A[j]``
+read ⇒ ``i = j`` on the dependence), so matched dimensions are exactly the
+ones that must advance together for the dependence distance to stay small.
+
+Matching classes are the connected components of the match relation over
+``(statement, dimension)`` nodes; dimensions nothing couples form singleton
+classes.  Classes are ordered outermost-first by the original nesting
+position of their members, which is the order the quick scheduler proposes
+them as joint candidate rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.deps.analysis import Dependence
+from repro.deps.ddg import DependenceGraph
+from repro.frontend.ir import Program
+
+__all__ = ["DimensionMatching"]
+
+
+class _UnionFind:
+    def __init__(self) -> None:
+        self.parent: dict = {}
+
+    def find(self, x):
+        self.parent.setdefault(x, x)
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:  # path compression
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a, b) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _coupled_pairs(dep: Dependence) -> list[tuple[int, int]]:
+    """``(source dim index, target dim index)`` pairs an equality couples.
+
+    Only equalities whose dimension support is exactly one source and one
+    target dimension with opposite-sign coefficients of equal magnitude
+    qualify — parameters and constants may appear freely (periodic
+    wraparound dependences couple ``i`` with ``j - N``).
+    """
+    src_dims = {v: k for k, v in dep.src_rename.items()}
+    tgt_dims = {v: k for k, v in dep.tgt_rename.items()}
+    src_index = {it: k for k, it in enumerate(dep.source.space.dims)}
+    tgt_index = {it: k for k, it in enumerate(dep.target.space.dims)}
+    pairs: list[tuple[int, int]] = []
+    for con in dep.polyhedron.constraints:
+        if not con.equality:
+            continue
+        s_hit: list[tuple[str, int]] = []
+        t_hit: list[tuple[str, int]] = []
+        other = False
+        for name, coeff in con.expr.terms().items():
+            if name in src_dims:
+                s_hit.append((src_dims[name], coeff))
+            elif name in tgt_dims:
+                t_hit.append((tgt_dims[name], coeff))
+            elif name in dep.polyhedron.space.params:
+                continue
+            else:
+                other = True
+        if other or len(s_hit) != 1 or len(t_hit) != 1:
+            continue
+        (s_name, s_coeff), (t_name, t_coeff) = s_hit[0], t_hit[0]
+        if s_coeff + t_coeff != 0:
+            continue
+        pairs.append((src_index[s_name], tgt_index[t_name]))
+    return pairs
+
+
+@dataclass
+class DimensionMatching:
+    """Connected matching classes over ``(statement name, dim index)`` nodes.
+
+    ``classes`` maps are ``{statement name: sorted dim indices}``, ordered
+    outermost-first (by the minimum original nesting position of any member,
+    then by first statement order for determinism).
+    """
+
+    classes: list[dict[str, list[int]]] = field(default_factory=list)
+
+    @classmethod
+    def build(
+        cls, program: Program, deps: Sequence[Dependence] | DependenceGraph
+    ) -> "DimensionMatching":
+        if isinstance(deps, DependenceGraph):
+            deps = deps.deps
+        uf = _UnionFind()
+        for s in program.statements:
+            for k in range(s.dim):
+                uf.find((s.name, k))
+        for dep in deps:
+            if dep.source is dep.target:
+                continue  # self-dependences trivially match dims to themselves
+            for si, ti in _coupled_pairs(dep):
+                uf.union((dep.source.name, si), (dep.target.name, ti))
+
+        grouped: dict[object, dict[str, list[int]]] = {}
+        for s in program.statements:
+            for k in range(s.dim):
+                root = uf.find((s.name, k))
+                grouped.setdefault(root, {}).setdefault(s.name, []).append(k)
+
+        order = {s.name: i for i, s in enumerate(program.statements)}
+
+        def sort_key(members: dict[str, list[int]]):
+            min_pos = min(min(dims) for dims in members.values())
+            first_stmt = min(order[name] for name in members)
+            return (min_pos, first_stmt)
+
+        classes = sorted(
+            ({name: sorted(dims) for name, dims in members.items()}
+             for members in grouped.values()),
+            key=sort_key,
+        )
+        return cls(classes)
+
+    def classes_for(self, name: str) -> list[dict[str, list[int]]]:
+        return [c for c in self.classes if name in c]

@@ -112,6 +112,22 @@ class SchedulerStats:
     #: aggregated solver counters (pivots, B&B nodes, warm-start hits,
     #: dedup savings, ...) across every lexmin issued by this scheduler
     solve: SolveStats = field(default_factory=SolveStats)
+    #: which scheduler was requested ("exact" | "quick" | "auto") and which
+    #: path produced the final schedule ("exact" | "quick" | "fallback");
+    #: when the quick-permutation heuristic was bypassed or lost,
+    #: ``fallback_reason`` says why ("diamond-requested" |
+    #: "no-legal-permutation" | "untilable-band")
+    scheduler_mode: str = "exact"
+    scheduler_path: str = "exact"
+    fallback_reason: Optional[str] = None
+    #: quick-path counters: candidate rows proposed, exact per-dependence
+    #: legality minima computed, and wall time inside the candidate search
+    quick_candidates: int = 0
+    quick_validations: int = 0
+    quick_seconds: float = 0.0
+    #: per-statement fusion decisions of the winning schedule: statement
+    #: names grouped by shared scalar (SCC-ordering) coordinates
+    fusion_groups: list = field(default_factory=list)
 
     def as_dict(self) -> dict:
         """JSON-serializable form (suite manifests, ``--stats`` plumbing)."""
@@ -124,6 +140,13 @@ class SchedulerStats:
             "solve_seconds": self.solve_seconds,
             "backends_used": sorted(self.backends_used),
             "solve": self.solve.as_dict(),
+            "scheduler_mode": self.scheduler_mode,
+            "scheduler_path": self.scheduler_path,
+            "fallback_reason": self.fallback_reason,
+            "quick_candidates": self.quick_candidates,
+            "quick_validations": self.quick_validations,
+            "quick_seconds": self.quick_seconds,
+            "fusion_groups": [list(g) for g in self.fusion_groups],
         }
 
     @classmethod
@@ -137,6 +160,15 @@ class SchedulerStats:
             solve_seconds=data["solve_seconds"],
             backends_used=set(data["backends_used"]),
             solve=SolveStats.from_dict(data["solve"]),
+            # quick-scheduler fields postdate the format; default for
+            # records written by older pipelines
+            scheduler_mode=data.get("scheduler_mode", "exact"),
+            scheduler_path=data.get("scheduler_path", "exact"),
+            fallback_reason=data.get("fallback_reason"),
+            quick_candidates=data.get("quick_candidates", 0),
+            quick_validations=data.get("quick_validations", 0),
+            quick_seconds=data.get("quick_seconds", 0.0),
+            fusion_groups=[list(g) for g in data.get("fusion_groups", [])],
         )
 
 

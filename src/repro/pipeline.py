@@ -59,16 +59,35 @@ RESULT_FORMAT_VERSION = 1
 #: pipeline can never be served (see ``docs/API.md``, "Cache-key contract").
 PIPELINE_VERSION = 1
 
+#: bumped whenever the quick-permutation heuristic (``repro.core.quick``)
+#: may emit a different schedule for the same input — candidate ordering,
+#: matching rules, the auto quality bound.  Folded into the cache
+#: fingerprint only for ``scheduler="quick"|"auto"`` requests, so tuning
+#: the heuristic never invalidates cached exact results.
+QUICK_SCHEDULER_VERSION = 1
 
-def pipeline_fingerprint() -> str:
-    """The version stamp the schedule cache mixes into every key."""
+
+def pipeline_fingerprint(scheduler: Optional[str] = None) -> str:
+    """The version stamp the schedule cache mixes into every key.
+
+    When ``scheduler`` (the resolved scheduler mode) is given, the stamp
+    carries it — plus the quick-heuristic version for the modes that may
+    run it — so ``quick``/``auto``/``exact`` results can never collide in
+    a content-addressed store even if the rest of the request is identical.
+    """
     from repro.frontend.serialize import IR_FORMAT_VERSION
 
-    return (
+    base = (
         f"pipeline-v{PIPELINE_VERSION}"
         f"/result-v{RESULT_FORMAT_VERSION}"
         f"/ir-v{IR_FORMAT_VERSION}"
     )
+    if scheduler is None:
+        return base
+    tail = f"/sched-{scheduler}"
+    if scheduler in ("quick", "auto"):
+        tail += f"-v{QUICK_SCHEDULER_VERSION}"
+    return base + tail
 
 
 @dataclass(kw_only=True)
@@ -85,6 +104,12 @@ class PipelineOptions:
     """
 
     algorithm: str = "plutoplus"      # "pluto" | "plutoplus"
+    #: hyperplane search strategy: "exact" is the per-level Farkas/lexmin
+    #: ILP (the paper's algorithm); "quick" is the permutation heuristic
+    #: (fusion + dimension matching, arXiv:1803.10726) with exact legality
+    #: validation; "auto" tries quick first and falls back to exact when
+    #: the heuristic fails or its tilability bound is worse
+    scheduler: str = "exact"          # "auto" | "exact" | "quick"
     tile: bool = True
     tile_size: int = 32
     iss: bool = False                 # --iss
@@ -104,6 +129,11 @@ class PipelineOptions:
         "unbounded scan dimension" RuntimeError)."""
         if self.algorithm not in ("pluto", "plutoplus"):
             raise ValueError(f"unknown algorithm {self.algorithm!r}")
+        if self.scheduler not in ("auto", "exact", "quick"):
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r} "
+                f"(expected 'auto', 'exact', or 'quick')"
+            )
         if self.ilp_backend not in ("exact", "highs", "auto"):
             raise ValueError(f"unknown ilp_backend {self.ilp_backend!r}")
         if self.fuse not in ("smart", "max", "no"):
@@ -339,15 +369,36 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
     schedule: Optional[Schedule] = None
     used_diamond = False
     stats = SchedulerStats()
+    stats.scheduler_mode = options.scheduler
 
     t0 = time.perf_counter()
-    if options.diamond:
-        schedule = find_diamond_schedule(work, ddg, sched_opts, stats=stats)
-        used_diamond = schedule is not None
-    if schedule is None:
-        scheduler = PlutoScheduler(work, ddg, sched_opts)
-        scheduler.stats = stats  # accumulate alongside any diamond attempt
-        schedule = scheduler.schedule()
+    if options.scheduler in ("quick", "auto"):
+        from repro.core.quick import attempt_quick_schedule
+
+        schedule = attempt_quick_schedule(
+            work, ddg, sched_opts,
+            mode=options.scheduler, diamond=options.diamond, stats=stats,
+        )
+    if schedule is not None:
+        stats.scheduler_path = "quick"
+    else:
+        # The exact Pluto+ path — either requested outright or the quick
+        # heuristic's fallback (stats.fallback_reason says why).  Both
+        # schedulers reset the DDG, so a failed quick attempt leaves no
+        # residue and the fallback is bit-compatible with scheduler="exact".
+        stats.scheduler_path = (
+            "exact" if options.scheduler == "exact" else "fallback"
+        )
+        if options.diamond:
+            schedule = find_diamond_schedule(work, ddg, sched_opts, stats=stats)
+            used_diamond = schedule is not None
+        if schedule is None:
+            scheduler = PlutoScheduler(work, ddg, sched_opts)
+            scheduler.stats = stats  # accumulate alongside any diamond attempt
+            schedule = scheduler.schedule()
+    from repro.core.quick import fusion_groups_of
+
+    stats.fusion_groups = fusion_groups_of(schedule)
     timing.auto_transformation += time.perf_counter() - t0
     timing.ilp_solve = stats.solve.solve_seconds
 

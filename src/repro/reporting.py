@@ -140,13 +140,14 @@ def format_suite_report(records: Sequence[Mapping], wall_seconds: Optional[float
                 "yes" if p["concurrent_start"] else "no",
                 "yes" if p["used_iss"] else "no",
                 "yes" if p["used_diamond"] else "no",
+                p.get("scheduler_path") or "-",  # pre-quick records lack it
             ])
         blocks.append("")
         blocks.append("schedule properties:")
         blocks.append(
             format_table(
                 ["run", "depth", "bands", "bandw", "par-levels",
-                 "concur", "iss", "diamond"],
+                 "concur", "iss", "diamond", "sched"],
                 prop_rows,
             )
         )

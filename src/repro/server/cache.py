@@ -7,16 +7,18 @@ via tmp + rename) that survives daemon restarts.  Both tiers are keyed by
 
     sha256( canonical JSON of {program: serialized IR,
                                options: resolved PipelineOptions,
-                               pipeline: pipeline_fingerprint()} )
+                               pipeline: pipeline_fingerprint(scheduler)} )
 
 The program is the *serialized IR*, not the workload name — two names
 producing the same program share one entry, and a workload whose factory
 changes stops hitting stale entries automatically.  Options are the fully
 resolved dict (every field, not just overrides), so any option change is a
-different key.  The fingerprint folds in ``PIPELINE_VERSION`` and the
-IR/result format versions, so a pipeline that could emit different
-schedules — or payloads an old reader cannot parse — never serves old
-entries.  Content addressing means there is no invalidation protocol at
+different key.  The fingerprint folds in ``PIPELINE_VERSION``, the
+IR/result format versions, and the resolved scheduler mode (plus the quick
+heuristic's own version for ``quick``/``auto``), so a pipeline that could
+emit different schedules — or payloads an old reader cannot parse — never
+serves old entries; ``quick`` and ``exact`` runs of the same program never
+share an entry.  Content addressing means there is no invalidation protocol at
 all: stale entries are simply never looked up again, and ``cache-dir`` can
 be deleted wholesale at any time.
 
@@ -51,7 +53,9 @@ def canonical_request(program_dict: dict, options_dict: dict) -> str:
         {
             "program": program_dict,
             "options": options_dict,
-            "pipeline": pipeline_fingerprint(),
+            "pipeline": pipeline_fingerprint(
+                options_dict.get("scheduler", "exact")
+            ),
         },
         sort_keys=True,
         separators=(",", ":"),

@@ -319,9 +319,16 @@ class Daemon:
         if flight.result_text is None:
             return {**protocol.response_header(request), **flight.response}
         cache_tag = "miss" if owner else "coalesced"
-        return self._ok_response(
-            request, key, cache_tag, json.loads(flight.result_text), t_arrival
-        )
+        payload = json.loads(flight.result_text)
+        if owner:
+            # One computation, counted once: which scheduler path won and,
+            # when the quick heuristic bowed out, why.
+            sched_stats = payload.get("scheduler_stats") or {}
+            self.metrics.count_scheduler(
+                sched_stats.get("scheduler_path"),
+                sched_stats.get("fallback_reason"),
+            )
+        return self._ok_response(request, key, cache_tag, payload, t_arrival)
 
     def _join_flight(
         self, key: str, program_dict: dict, options_dict: dict

@@ -72,6 +72,11 @@ class ServerMetrics:
         self.misses = 0              # actually computed by a worker
         self.busy = 0                # admission control rejections
         self.errors: dict[str, int] = {}
+        # scheduler arbitration on computed (miss) responses:
+        # path -> count, e.g. {"quick": 3, "fallback": 1, "exact": 2}
+        self.scheduler_paths: dict[str, int] = {}
+        # fallback reason -> count, e.g. {"untilable-band": 1}
+        self.fallback_reasons: dict[str, int] = {}
         self._latency = {
             "lookup": LatencyWindow(window),
             "compute": LatencyWindow(window),
@@ -98,6 +103,23 @@ class ServerMetrics:
                 self.coalesced += 1
             elif cache == "miss":
                 self.misses += 1
+
+    def count_scheduler(self, path: Optional[str], reason: Optional[str] = None) -> None:
+        """One computed response's scheduler arbitration outcome.
+
+        ``path`` is ``scheduler_path`` from the result's SchedulerStats
+        (``"quick"``, ``"fallback"``, or ``"exact"``); ``reason`` is the
+        fallback reason when the quick heuristic bowed out.  Cache hits are
+        not recorded — they reuse a previously counted computation.
+        """
+        if path is None:
+            return
+        with self._lock:
+            self.scheduler_paths[path] = self.scheduler_paths.get(path, 0) + 1
+            if reason is not None:
+                self.fallback_reasons[reason] = (
+                    self.fallback_reasons.get(reason, 0) + 1
+                )
 
     def count_busy(self) -> None:
         with self._lock:
@@ -138,6 +160,8 @@ class ServerMetrics:
                 "misses": self.misses,
                 "busy": self.busy,
                 "errors": dict(self.errors),
+                "scheduler_paths": dict(self.scheduler_paths),
+                "fallback_reasons": dict(self.fallback_reasons),
                 "hit_rate": round(self.hit_rate, 4),
                 "latency": {
                     name: window.as_dict()
@@ -155,6 +179,8 @@ class ServerMetrics:
             f"{snap['hits_memory']}+{snap['hits_disk']} cache hits "
             f"(mem+disk), {snap['coalesced']} coalesced, "
             f"{snap['misses']} computed, {snap['busy']} busy, "
+            f"scheduler {json.dumps(snap['scheduler_paths'])}, "
+            f"fallbacks {json.dumps(snap['fallback_reasons'])}, "
             f"errors {json.dumps(snap['errors'])}, "
             f"hit rate {snap['hit_rate']:.2f}, "
             f"p50 total {('%.3fs' % p50) if p50 is not None else 'n/a'}"

@@ -27,6 +27,8 @@ VARIANTS: dict[str, dict] = {
     "pluto": {"algorithm": "pluto"},
     "notile": {"algorithm": "plutoplus", "tile": False},
     "l2tile": {"algorithm": "plutoplus", "l2tile": True},
+    "quick": {"algorithm": "plutoplus", "scheduler": "quick"},
+    "auto": {"algorithm": "plutoplus", "scheduler": "auto"},
 }
 
 

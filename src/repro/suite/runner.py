@@ -60,6 +60,14 @@ def _ok_record(spec: RunSpec, result) -> dict:
             "tiled_levels": len(result.tiled.tile_levels()),
             "used_iss": result.used_iss,
             "used_diamond": result.used_diamond,
+            "scheduler_path": (
+                None if result.scheduler_stats is None
+                else result.scheduler_stats.scheduler_path
+            ),
+            "fallback_reason": (
+                None if result.scheduler_stats is None
+                else result.scheduler_stats.fallback_reason
+            ),
         },
         "timing": result.timing.as_dict(),
         "scheduler_stats": (

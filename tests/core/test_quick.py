@@ -1,0 +1,251 @@
+"""Tests for the quick-permutation scheduler: matching, arbitration, legality.
+
+The contract under test (see ``docs/INTERNALS.md`` §11):
+
+* quick-won schedules are permutations validated exactly against the
+  dependence relations — they always pass the independent verifier and
+  never touch the ILP stack;
+* ``auto`` falls back to the exact search with a recorded reason, and a
+  fallen-back run is bit-compatible with ``scheduler="exact"``;
+* the default stays ``"exact"`` so existing behavior is unchanged.
+"""
+
+import pytest
+
+from repro import api
+from repro.core.quick import (
+    DimensionMatching,
+    QuickScheduler,
+    attempt_quick_schedule,
+    fusion_groups_of,
+    quick_bound_shortfall,
+)
+from repro.core.scheduler import SchedulerStats
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+from repro.pipeline import (
+    PipelineOptions,
+    QUICK_SCHEDULER_VERSION,
+    optimize,
+    pipeline_fingerprint,
+)
+from repro.workloads import get_workload
+
+
+def _parse(src, name="p", params=("N",)):
+    return parse_program(src, name, params=params, param_min=4)
+
+
+PRODUCER_CONSUMER = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+        A[i][j] = i + j;
+for (k = 0; k < N; k++)
+    for (l = 0; l < N; l++)
+        B[k][l] = A[k][l] * 2.0;
+"""
+
+TRANSPOSED_CONSUMER = """
+for (i = 0; i < N; i++)
+    for (j = 0; j < N; j++)
+        A[i][j] = i + j;
+for (k = 0; k < N; k++)
+    for (l = 0; l < N; l++)
+        B[k][l] = A[l][k] * 2.0;
+"""
+
+
+class TestDimensionMatching:
+    def test_identity_access_matches_positionally(self):
+        p = _parse(PRODUCER_CONSUMER)
+        m = DimensionMatching.build(p, compute_dependences(p))
+        s0, s1 = (s.name for s in p.statements)
+        # i~k and j~l, each its own class, outermost first
+        joint = [c for c in m.classes if len(c) == 2]
+        assert joint[0] == {s0: [0], s1: [0]}
+        assert joint[1] == {s0: [1], s1: [1]}
+
+    def test_transposed_access_matches_crosswise(self):
+        p = _parse(TRANSPOSED_CONSUMER)
+        m = DimensionMatching.build(p, compute_dependences(p))
+        s0, s1 = (s.name for s in p.statements)
+        joint = [c for c in m.classes if len(c) == 2]
+        # A[i][j] written, A[l][k] read: i~l and j~k
+        assert {s0: [0], s1: [1]} in joint
+        assert {s0: [1], s1: [0]} in joint
+
+    def test_uncoupled_dims_form_singletons(self):
+        p = _parse("for (i = 0; i < N; i++) A[i] = i;")
+        m = DimensionMatching.build(p, compute_dependences(p))
+        assert m.classes == [{p.statements[0].name: [0]}]
+
+    def test_classes_for_filters_by_statement(self):
+        p = _parse(PRODUCER_CONSUMER)
+        m = DimensionMatching.build(p, compute_dependences(p))
+        name = p.statements[0].name
+        assert all(name in c for c in m.classes_for(name))
+
+
+class TestQuickScheduler:
+    def test_gemm_wins_without_ilp(self):
+        result = optimize("gemm", PipelineOptions(scheduler="quick"))
+        st = result.scheduler_stats
+        assert st.scheduler_path == "quick"
+        assert st.fallback_reason is None
+        assert st.solve.lp_solves == 0  # zero ILP/LP solver invocations
+        assert st.quick_candidates > 0 and st.quick_validations > 0
+        assert api.verify(result).legal
+        assert max(b.width for b in result.schedule.bands) >= 2
+
+    def test_fusion_groups_recorded(self):
+        result = optimize("gemm", PipelineOptions(scheduler="quick"))
+        groups = result.scheduler_stats.fusion_groups
+        assert sorted(n for g in groups for n in g) == sorted(
+            s.name for s in result.program.statements
+        )
+
+    def test_forced_quick_on_skew_stencil_is_legal(self):
+        # seidel-2d needs skewing for tilability; forced quick keeps the
+        # legal (but untilable) permutation instead of falling back
+        result = optimize("seidel-2d", PipelineOptions(scheduler="quick"))
+        assert result.scheduler_stats.scheduler_path == "quick"
+        assert api.verify(result).legal
+
+    def test_quick_rows_cover_every_statement(self):
+        p = _parse(PRODUCER_CONSUMER)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        sched = QuickScheduler(p, ddg).schedule()
+        for row in sched.rows:
+            for s in p.statements:
+                assert row.expr_for(s) is not None
+
+
+class TestAutoArbitration:
+    def test_auto_takes_quick_on_permutation_kernel(self):
+        result = optimize("gemm", PipelineOptions(scheduler="auto"))
+        assert result.scheduler_stats.scheduler_path == "quick"
+
+    def test_auto_fallback_is_bit_compatible_with_exact(self):
+        auto = optimize("seidel-2d", PipelineOptions(scheduler="auto"))
+        exact = optimize("seidel-2d", PipelineOptions(scheduler="exact"))
+        st = auto.scheduler_stats
+        assert st.scheduler_path == "fallback"
+        assert st.fallback_reason == "untilable-band"
+        assert auto.schedule.to_dict() == exact.schedule.to_dict()
+        assert auto.code.python_source == exact.code.python_source
+
+    def test_auto_never_shadows_diamond(self):
+        w = get_workload("heat-1dp")
+        auto = optimize(w.program(), w.pipeline_options("plutoplus", scheduler="auto"))
+        exact = optimize(w.program(), w.pipeline_options("plutoplus", scheduler="exact"))
+        assert auto.scheduler_stats.fallback_reason == "diamond-requested"
+        assert auto.used_diamond
+        assert auto.schedule.to_dict() == exact.schedule.to_dict()
+
+    def test_quick_validation_work_is_counted_on_fallback(self):
+        result = optimize("seidel-2d", PipelineOptions(scheduler="auto"))
+        st = result.scheduler_stats
+        assert st.quick_candidates > 0
+        assert st.quick_seconds >= 0.0
+
+    def test_default_mode_never_runs_the_heuristic(self):
+        result = optimize("gemm", PipelineOptions())
+        st = result.scheduler_stats
+        assert st.scheduler_mode == "exact"
+        assert st.scheduler_path == "exact"
+        assert st.quick_candidates == 0
+
+
+class TestDriverUnits:
+    def test_diamond_requested_short_circuits(self):
+        p = _parse(PRODUCER_CONSUMER)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        stats = SchedulerStats()
+        out = attempt_quick_schedule(
+            p, ddg, None, mode="auto", diamond=True, stats=stats
+        )
+        assert out is None
+        assert stats.fallback_reason == "diamond-requested"
+        assert stats.quick_candidates == 0
+
+    def test_forced_quick_ignores_diamond(self):
+        p = _parse(PRODUCER_CONSUMER)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        out = attempt_quick_schedule(
+            p, ddg, None, mode="quick", diamond=True, stats=SchedulerStats()
+        )
+        assert out is not None
+
+    def test_bound_shortfall_on_width_one_bands(self):
+        result = optimize("seidel-2d", PipelineOptions(scheduler="quick"))
+        assert (
+            quick_bound_shortfall(result.program, result.schedule)
+            == "untilable-band"
+        )
+
+    def test_bound_accepts_wide_bands(self):
+        result = optimize("gemm", PipelineOptions(scheduler="quick"))
+        assert quick_bound_shortfall(result.program, result.schedule) is None
+
+    def test_fusion_groups_split_distributed_statements(self):
+        exact = optimize("gemm", PipelineOptions())
+        groups = fusion_groups_of(exact.schedule)
+        assert len(groups) >= 1
+
+
+class TestOptionsPlumbing:
+    def test_bogus_scheduler_rejected_up_front(self):
+        with pytest.raises(ValueError, match="scheduler"):
+            PipelineOptions(scheduler="bogus")
+
+    def test_scheduler_survives_roundtrip(self):
+        opts = PipelineOptions(scheduler="auto")
+        assert PipelineOptions.from_dict(opts.as_dict()).scheduler == "auto"
+
+    def test_fingerprint_distinguishes_modes(self):
+        fps = {
+            pipeline_fingerprint(mode) for mode in ("exact", "quick", "auto")
+        }
+        assert len(fps) == 3
+        assert pipeline_fingerprint("quick").endswith(
+            f"-v{QUICK_SCHEDULER_VERSION}"
+        )
+
+    def test_stats_dict_roundtrip_carries_path(self):
+        result = optimize("gemm", PipelineOptions(scheduler="auto"))
+        data = result.scheduler_stats.as_dict()
+        back = SchedulerStats.from_dict(data)
+        assert back.scheduler_path == "quick"
+        assert back.fusion_groups == result.scheduler_stats.fusion_groups
+
+    def test_old_stats_dicts_still_parse(self):
+        # manifests written before the quick scheduler lack the new keys
+        data = SchedulerStats().as_dict()
+        for key in (
+            "scheduler_mode", "scheduler_path", "fallback_reason",
+            "quick_candidates", "quick_validations", "quick_seconds",
+            "fusion_groups",
+        ):
+            data.pop(key)
+        st = SchedulerStats.from_dict(data)
+        assert st.scheduler_path == "exact"
+
+
+#: Kernels with known-permutation schedules plus hostile (skewing) cases.
+SWEEP = [
+    "gemm", "2mm", "mvt", "atax", "bicg", "gemver", "gesummv",
+    "doitgen", "trisolv", "jacobi-2d-imper", "seidel-2d",
+]
+
+
+class TestWorkloadSweep:
+    @pytest.mark.parametrize("name", SWEEP)
+    def test_every_quick_schedule_verifies(self, name):
+        result = optimize(name, PipelineOptions(scheduler="auto"))
+        st = result.scheduler_stats
+        assert st.scheduler_path in ("quick", "fallback")
+        if st.scheduler_path == "quick":
+            assert st.solve.lp_solves == 0
+        else:
+            assert st.fallback_reason is not None
+        assert api.verify(result).legal

@@ -1,0 +1,80 @@
+"""Property tests: quick-path schedules are legal whatever the heuristic saw.
+
+Two angles:
+
+* *completeness on friendly inputs* — a uniform dependence with a
+  non-negative distance vector is carried by the original loop order, so
+  the quick scheduler must find a permutation (no fallback, no ILPs);
+* *soundness on arbitrary inputs* — whatever the offsets (including
+  skew-requiring negative components), ``scheduler="auto"`` must produce
+  a schedule the independent verifier accepts, either via a validated
+  permutation or via the exact fallback.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import api
+from repro.core.quick import QuickScheduler
+from repro.core.verify import verify_schedule
+from repro.deps import DependenceGraph, compute_dependences
+from repro.frontend import parse_program
+from repro.pipeline import PipelineOptions, optimize
+
+
+def _stencil_src(di: int, dj: int) -> str:
+    """A 2-d nest with one uniform dependence of distance ``(di, dj)``."""
+    lb = max(0, -dj)
+    return f"""
+    for (i = 0; i < N; i++)
+        for (j = {lb}; j < N - {max(dj, 0)}; j++)
+            A[i + {di}][j + {dj}] = 0.5 * A[i][j];
+    """
+
+
+@st.composite
+def nonneg_distance(draw):
+    di = draw(st.integers(0, 2))
+    dj = draw(st.integers(0 if di else 1, 2))
+    return di, dj
+
+
+@st.composite
+def any_distance(draw):
+    di = draw(st.integers(0, 2))
+    dj = draw(st.integers(-2, 2))
+    if di == 0 and dj <= 0:
+        dj = 1  # keep the dependence forward in original execution order
+    return di, dj
+
+
+class TestQuickProperties:
+    @given(nonneg_distance())
+    @settings(max_examples=15, deadline=None)
+    def test_nonnegative_distances_are_quick_schedulable(self, dist):
+        """Lexicographically non-negative uniform distances never need
+        skewing, so the permutation heuristic must succeed outright."""
+        di, dj = dist
+        p = parse_program(_stencil_src(di, dj), "p", params=("N",), param_min=4)
+        ddg = DependenceGraph(p, compute_dependences(p))
+        sched = QuickScheduler(p, ddg).schedule()  # SchedulerError would fail
+        assert verify_schedule(sched, ddg).legal
+
+    @given(any_distance())
+    @settings(max_examples=15, deadline=None)
+    def test_auto_is_always_verifiably_legal(self, dist):
+        di, dj = dist
+        p = parse_program(_stencil_src(di, dj), "p", params=("N",), param_min=4)
+        result = optimize(p, PipelineOptions(scheduler="auto", tile=False))
+        assert result.scheduler_stats.scheduler_path in ("quick", "fallback")
+        assert api.verify(result).legal
+
+    @given(any_distance())
+    @settings(max_examples=10, deadline=None)
+    def test_forced_quick_never_returns_illegal(self, dist):
+        """Forced quick may keep an untilable permutation, but never an
+        illegal one: candidates are validated against exact relations."""
+        di, dj = dist
+        p = parse_program(_stencil_src(di, dj), "p", params=("N",), param_min=4)
+        result = optimize(p, PipelineOptions(scheduler="quick", tile=False))
+        assert api.verify(result).legal

@@ -40,9 +40,31 @@ class TestCacheKey:
     def test_folds_in_pipeline_fingerprint(self, monkeypatch):
         base = cache_key(PROGRAM, OPTIONS)
         monkeypatch.setattr(
-            "repro.server.cache.pipeline_fingerprint", lambda: "pipeline-v999"
+            "repro.server.cache.pipeline_fingerprint",
+            lambda scheduler=None: "pipeline-v999",
         )
         assert cache_key(PROGRAM, OPTIONS) != base
+
+    def test_scheduler_modes_never_share_a_key(self):
+        # same IR, same options except the resolved scheduler mode: the
+        # fingerprint segment keeps quick/auto/exact results apart even
+        # though quick-won and exact schedules can differ
+        keys = {
+            mode: cache_key(PROGRAM, {**OPTIONS, "scheduler": mode})
+            for mode in ("exact", "quick", "auto")
+        }
+        assert len(set(keys.values())) == 3
+        # an options dict predating the field resolves to the exact segment
+        legacy = json.loads(canonical_request(PROGRAM, OPTIONS))["pipeline"]
+        explicit = json.loads(
+            canonical_request(PROGRAM, {**OPTIONS, "scheduler": "exact"})
+        )["pipeline"]
+        assert legacy == explicit
+
+    def test_scheduler_mode_lands_in_the_fingerprint_not_just_options(self):
+        quick = canonical_request(PROGRAM, {**OPTIONS, "scheduler": "quick"})
+        exact = canonical_request(PROGRAM, {**OPTIONS, "scheduler": "exact"})
+        assert json.loads(quick)["pipeline"] != json.loads(exact)["pipeline"]
 
     def test_canonical_text_is_compact_and_sorted(self):
         text = canonical_request(PROGRAM, OPTIONS)

@@ -48,6 +48,16 @@ def _scripted(payload):
         time.sleep(60)
     if name.startswith("slow"):
         time.sleep(0.6)
+    if name.startswith("sched"):
+        quick = "quick" in name
+        return json.dumps({
+            "version": RESULT_FORMAT_VERSION,
+            "marker": name,
+            "scheduler_stats": {
+                "scheduler_path": "quick" if quick else "fallback",
+                "fallback_reason": None if quick else "untilable-band",
+            },
+        })
     return json.dumps({"version": RESULT_FORMAT_VERSION, "marker": name})
 
 
@@ -124,6 +134,21 @@ class TestBasics:
         assert server["jobs"] == 2
         assert server["in_flight"] == 0
         assert resp["stats"]["cache"]["stores"] == 1
+
+    def test_scheduler_paths_counted_once_per_computation(self, daemon_factory):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            client.optimize(program=_program("sched-quick"))
+            client.optimize(program=_program("sched-fb"))
+            client.optimize(program=_program("sched-quick"))  # cache hit
+            server = client.stats()["stats"]["server"]
+        assert server["scheduler_paths"] == {"quick": 1, "fallback": 1}
+        assert server["fallback_reasons"] == {"untilable-band": 1}
+        # pre-quick payloads (no scheduler_stats) are simply not counted
+        with _client(daemon) as client:
+            client.optimize(program=_program("ok-plain"))
+            server = client.stats()["stats"]["server"]
+        assert server["scheduler_paths"] == {"quick": 1, "fallback": 1}
 
 
 class TestBadRequests:

@@ -95,3 +95,34 @@ class TestServerMetrics:
 
     def test_summary_line_before_any_request(self):
         assert "p50 total n/a" in ServerMetrics().summary_line()
+
+    def test_scheduler_path_counters(self):
+        m = ServerMetrics()
+        m.count_scheduler("quick")
+        m.count_scheduler("quick")
+        m.count_scheduler("fallback", "untilable-band")
+        m.count_scheduler("fallback", "diamond-requested")
+        m.count_scheduler("exact")
+        assert m.scheduler_paths == {"quick": 2, "fallback": 2, "exact": 1}
+        assert m.fallback_reasons == {
+            "untilable-band": 1, "diamond-requested": 1,
+        }
+
+    def test_scheduler_none_path_ignored(self):
+        # pre-quick result payloads carry no scheduler_path
+        m = ServerMetrics()
+        m.count_scheduler(None)
+        m.count_scheduler(None, "untilable-band")
+        assert m.scheduler_paths == {}
+        assert m.fallback_reasons == {}
+
+    def test_scheduler_counters_in_snapshot_and_summary(self):
+        m = ServerMetrics()
+        m.count_scheduler("quick")
+        m.count_scheduler("fallback", "no-legal-permutation")
+        snap = m.snapshot()
+        assert snap["scheduler_paths"] == {"quick": 1, "fallback": 1}
+        assert snap["fallback_reasons"] == {"no-legal-permutation": 1}
+        line = m.summary_line()
+        assert '"quick": 1' in line
+        assert "no-legal-permutation" in line

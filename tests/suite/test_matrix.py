@@ -41,6 +41,18 @@ class TestBuildMatrix:
         (spec,) = build_matrix(variants=("notile",), filters=["heat-1dp"])
         assert spec.options.tile is False
 
+    def test_scheduler_variants(self):
+        specs = build_matrix(variants=("quick", "auto"), filters=["heat-1dp"])
+        by_variant = {s.variant: s for s in specs}
+        assert by_variant["quick"].options.scheduler == "quick"
+        assert by_variant["auto"].options.scheduler == "auto"
+        # paper flags still carried underneath the variant override
+        assert by_variant["auto"].options.diamond
+
+    def test_scheduler_variant_survives_spec_roundtrip(self):
+        (spec,) = build_matrix(variants=("quick",), filters=["heat-1dp"])
+        assert RunSpec.from_dict(spec.to_dict()).options.scheduler == "quick"
+
     def test_unknown_variant_rejected(self):
         with pytest.raises(ValueError, match="unknown variant"):
             build_matrix(variants=("nope",))

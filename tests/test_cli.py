@@ -218,6 +218,39 @@ class TestCLIDepsCache:
         ) == 0
         assert capsys.readouterr().out == cached
 
+    def test_scheduler_quick_flag(self, capsys):
+        assert main(
+            ["opt", "--workload", "gemm", "--scheduler", "quick",
+             "--emit", "schedule"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "# scheduler: quick -> quick" in err
+
+    def test_scheduler_auto_reports_fallback(self, capsys):
+        assert main(
+            ["opt", "--workload", "seidel-2d", "--scheduler", "auto",
+             "--emit", "schedule"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "# scheduler: auto -> fallback (untilable-band)" in err
+
+    def test_scheduler_default_is_exact(self, capsys):
+        assert main(
+            ["opt", "--workload", "gemm", "--emit", "schedule"]
+        ) == 0
+        assert "# scheduler: exact -> exact" in capsys.readouterr().err
+
+    def test_scheduler_rejects_unknown_mode(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["opt", "--workload", "gemm", "--scheduler", "fast"])
+        assert exc.value.code == 2  # argparse choices
+
+    def test_verify_accepts_scheduler_flag(self, capsys):
+        assert main(
+            ["verify", "--workload", "gemm", "--scheduler", "quick"]
+        ) == 0
+        assert "legal" in capsys.readouterr().out.lower()
+
     def test_stats_prints_dependence_block(self, kernel_file, capsys):
         assert main(
             ["opt", kernel_file, "--params", "N", "--stats",

@@ -41,6 +41,14 @@ def test_ring_builder_recipe():
     assert validate_transformation(res.program, res.tiled, {"T": 5, "N": 11}).ok
 
 
+def test_quick_scheduler_recipe():
+    """The USAGE.md "Scheduling faster" Python snippet."""
+    result = optimize("gemm", PipelineOptions(scheduler="auto"))
+    assert result.scheduler_stats.scheduler_path == "quick"
+    assert result.scheduler_stats.fallback_reason is None
+    assert result.scheduler_stats.fusion_groups
+
+
 def test_serving_recipe(tmp_path):
     """The USAGE.md "Scheduling as a service" Python snippet."""
     import threading
