@@ -1,7 +1,8 @@
-"""Serving-daemon smoke: concurrency, cache effectiveness, clean shutdown.
+"""Serving-daemon smoke and saturation benchmarks.
 
-Starts one real ``repro serve`` daemon (a subprocess, exactly as deployed),
-then drives it the way a build farm would:
+**Smoke mode** (the default) starts one real ``repro serve`` daemon (a
+subprocess, exactly as deployed), then drives it the way a build farm
+would:
 
 1. **cold pass** — 16 concurrent clients requesting 4 distinct workloads
    (the motivation kernels: small enough for CI, real pipelines all the
@@ -12,13 +13,29 @@ then drives it the way a build farm would:
 3. **shutdown** — SIGTERM, which must drain cleanly: exit code 0 and the
    socket removed.
 
-The metrics snapshot plus per-pass latencies land in a JSON artifact for
-CI to upload.  Exits non-zero on any failed request, a warm-pass hit rate
-below the gate, a warm/cold payload mismatch, or an unclean shutdown.
+**Saturation mode** (``--saturation``) measures warm serving throughput —
+closed-loop clients hammering cached keys — on two stacks:
+
+1. the seed daemon (``--loop threads --pool spawn``: thread-per-connection
+   accept loop, unmemoized resolution, parse + re-dump responses), and
+2. the current default (asyncio loop, warm pre-forked pool, memoized
+   resolution, pre-serialized response splice).
+
+Gates: the default stack must serve at least ``SPEEDUP_GATE``x the seed's
+requests/s, with warm p99 under ``P99_GATE_SECONDS``.  It then stands up a
+2-shard fleet behind ``repro route``, pre-populates it with the real
+``repro warm`` CLI, and checks that fleet-served warm responses carry the
+same transformation (schedule/tiled/code byte-equal) as single-instance
+serving.  ``REPRO_BENCH_SCALE=quick`` (CI) shortens the measurement
+windows; ``full`` is the default.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/server_smoke.py [-o BENCH_server_smoke.json]
+    PYTHONPATH=src python benchmarks/server_smoke.py [-o FILE]
+    PYTHONPATH=src python benchmarks/server_smoke.py --saturation [-o FILE]
+
+Smoke writes ``BENCH_server_smoke.json``; saturation writes
+``BENCH_server.json``.  Both exit non-zero on any gate failure.
 """
 
 from __future__ import annotations
@@ -43,6 +60,60 @@ WORKLOADS = [
 CLIENTS = 16
 
 HIT_RATE_GATE = 0.5
+
+#: saturation: the async + warm-pool + memo + splice stack must beat the
+#: seed thread-per-connection daemon by this factor on warm requests/s
+SPEEDUP_GATE = 5.0
+
+#: ... while keeping warm p99 under this (seconds)
+P99_GATE_SECONDS = 0.010
+
+#: fields of the result payload that are deterministic across independent
+#: computations (timings and solver counters are not)
+DETERMINISTIC_FIELDS = (
+    "schedule", "tiled", "code", "program", "options",
+    "used_iss", "used_diamond", "version",
+)
+
+
+def _scale() -> dict:
+    # 16 connections is the saturation sweet spot: enough load that the
+    # seed's thread-per-connection contention shows, while the async
+    # loop's warm p99 stays well inside the 10 ms gate
+    if os.environ.get("REPRO_BENCH_SCALE", "full") == "quick":
+        return {"duration": 3.0, "conns": 16}
+    return {"duration": 10.0, "conns": 16}
+
+
+def _start_daemon(socket_path: str, cache_dir: str, *extra: str):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve",
+         "--socket", socket_path, "--cache-dir", cache_dir, *extra],
+        env=dict(os.environ), stderr=subprocess.PIPE, text=True,
+    )
+    _await_socket(proc, socket_path)
+    return proc
+
+
+def _await_socket(proc, socket_path: str) -> None:
+    deadline = time.time() + 60
+    while not os.path.exists(socket_path):
+        if proc.poll() is not None:
+            raise SystemExit(
+                f"server died on startup:\n{proc.stderr.read()}"
+            )
+        if time.time() > deadline:
+            raise SystemExit("server never bound its socket")
+        time.sleep(0.05)
+
+
+def _stop(proc, socket_path: str, label: str) -> None:
+    proc.send_signal(signal.SIGTERM)
+    _, err = proc.communicate(timeout=120)
+    if proc.returncode != 0:
+        raise SystemExit(f"{label} exited {proc.returncode} on SIGTERM:\n{err}")
+    if os.path.exists(socket_path):
+        raise SystemExit(f"{label} left its socket behind")
 
 
 def _drive_pass(socket_path: str, label: str) -> list[dict]:
@@ -77,31 +148,14 @@ def _drive_pass(socket_path: str, label: str) -> list[dict]:
     return responses
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("-o", "--output", default="BENCH_server_smoke.json")
-    parser.add_argument("--jobs", type=int, default=4)
-    args = parser.parse_args(argv)
-
+def run_smoke(output: str, jobs: int) -> int:
     with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
         socket_path = os.path.join(tmp, "repro.sock")
-        daemon = subprocess.Popen(
-            [sys.executable, "-m", "repro", "serve",
-             "--socket", socket_path, "--jobs", str(args.jobs),
-             "--cache-dir", os.path.join(tmp, "cache"), "--report"],
-            env=dict(os.environ), stderr=subprocess.PIPE, text=True,
+        daemon = _start_daemon(
+            socket_path, os.path.join(tmp, "cache"),
+            "--jobs", str(jobs), "--report",
         )
         try:
-            deadline = time.time() + 60
-            while not os.path.exists(socket_path):
-                if daemon.poll() is not None:
-                    raise SystemExit(
-                        f"daemon died on startup:\n{daemon.stderr.read()}"
-                    )
-                if time.time() > deadline:
-                    raise SystemExit("daemon never bound its socket")
-                time.sleep(0.05)
-
             cold = _drive_pass(socket_path, "cold")
             warm = _drive_pass(socket_path, "warm")
 
@@ -152,10 +206,255 @@ def main(argv=None) -> int:
         "warm_hit_rate": round(hit_rate, 4),
         "stats": stats,
     }
-    with open(args.output, "w") as fh:
+    with open(output, "w") as fh:
         json.dump(artifact, fh, indent=1)
-    print(f"wrote {args.output}")
+    print(f"wrote {output}")
     return 0
+
+
+# -- saturation mode ---------------------------------------------------------
+
+
+def _measure_warm_throughput(
+    socket_path: str, duration: float, conns: int
+) -> dict:
+    """Closed-loop warm load: ``conns`` persistent connections hammering
+    the cached motivation keys for ``duration`` seconds."""
+    from repro.server import ServerClient
+
+    # ensure every key is computed and cached before the clock starts
+    with ServerClient(socket_path=socket_path, timeout=300) as client:
+        for workload in WORKLOADS:
+            response = client.optimize(workload)
+            if response.get("status") != "ok":
+                raise SystemExit(
+                    f"pre-warm of {workload} failed: {response}"
+                )
+
+    start = threading.Barrier(conns + 1)
+    stop = threading.Event()
+    per_thread: list[list[float]] = [[] for _ in range(conns)]
+    errors: list[str] = []
+
+    def drive(i: int) -> None:
+        latencies = per_thread[i]
+        try:
+            with ServerClient(socket_path=socket_path, timeout=60) as client:
+                start.wait()
+                n = i  # stagger the round-robin so keys interleave
+                while not stop.is_set():
+                    t0 = time.perf_counter()
+                    response = client.optimize(WORKLOADS[n % len(WORKLOADS)])
+                    latencies.append(time.perf_counter() - t0)
+                    if response.get("status") != "ok":
+                        errors.append(str(response))
+                        return
+                    n += 1
+        except Exception as e:  # noqa: BLE001 - recorded, fails the gate
+            errors.append(f"client {i}: {e}")
+            try:
+                start.wait(timeout=1)
+            except Exception:
+                pass
+
+    threads = [
+        threading.Thread(target=drive, args=(i,), daemon=True)
+        for i in range(conns)
+    ]
+    for t in threads:
+        t.start()
+    start.wait()
+    t0 = time.perf_counter()
+    time.sleep(duration)
+    stop.set()
+    for t in threads:
+        t.join(timeout=60)
+    elapsed = time.perf_counter() - t0
+    if errors:
+        raise SystemExit(f"saturation drive failed: {errors[:3]}")
+
+    latencies = sorted(x for lat in per_thread for x in lat)
+    if not latencies:
+        raise SystemExit("saturation drive issued zero requests")
+
+    def pct(q: float) -> float:
+        return latencies[min(len(latencies) - 1, int(q * len(latencies)))]
+
+    return {
+        "connections": conns,
+        "seconds": round(elapsed, 3),
+        "requests": len(latencies),
+        "rps": round(len(latencies) / elapsed, 1),
+        "p50": round(pct(0.50), 6),
+        "p99": round(pct(0.99), 6),
+        "max": round(latencies[-1], 6),
+    }
+
+
+def _fleet_identity_check(tmp: str, single_socket: str) -> dict:
+    """2-shard fleet behind ``repro route``, warmed by the ``repro warm``
+    CLI; fleet-served responses must carry the same transformation as
+    single-instance serving."""
+    from repro.server import ServerClient
+
+    shard_sockets = [os.path.join(tmp, f"shard{i}.sock") for i in range(2)]
+    router_socket = os.path.join(tmp, "router.sock")
+    procs = []
+    try:
+        for i, sock in enumerate(shard_sockets):
+            procs.append(_start_daemon(
+                sock, os.path.join(tmp, f"shard-cache{i}"), "--jobs", "2",
+            ))
+        router = subprocess.Popen(
+            [sys.executable, "-m", "repro", "route",
+             "--socket", router_socket,
+             *(arg for sock in shard_sockets for arg in ("--shard", sock))],
+            env=dict(os.environ), stderr=subprocess.PIPE, text=True,
+        )
+        procs.append(router)
+        _await_socket(router, router_socket)
+
+        warm_cmd = subprocess.run(
+            [sys.executable, "-m", "repro", "warm",
+             "--socket", router_socket, "--category", "motivation",
+             "--jobs", "4", "--quiet"],
+            env=dict(os.environ), capture_output=True, text=True,
+            timeout=600,
+        )
+        print(f"repro warm: {warm_cmd.stdout.strip()}")
+        if warm_cmd.returncode != 0:
+            raise SystemExit(
+                f"repro warm failed ({warm_cmd.returncode}):\n"
+                f"{warm_cmd.stdout}\n{warm_cmd.stderr}"
+            )
+
+        mismatches = []
+        with ServerClient(socket_path=router_socket, timeout=300) as fleet, \
+                ServerClient(socket_path=single_socket, timeout=300) as solo:
+            for workload in WORKLOADS:
+                via_fleet = fleet.optimize(workload)
+                via_solo = solo.optimize(workload)
+                if not via_fleet.get("cache", "").startswith("hit"):
+                    raise SystemExit(
+                        f"{workload} not warm through the router: "
+                        f"{via_fleet.get('cache')}"
+                    )
+                for field in DETERMINISTIC_FIELDS:
+                    a = json.dumps(via_fleet["result"][field], sort_keys=True)
+                    b = json.dumps(via_solo["result"][field], sort_keys=True)
+                    if a != b:
+                        mismatches.append(f"{workload}.{field}")
+            routes = fleet.stats()["stats"]["router"]["shard_routes"]
+        if mismatches:
+            raise SystemExit(
+                f"fleet-served responses differ from single-instance "
+                f"serving: {mismatches}"
+            )
+        print(f"fleet identity: {len(WORKLOADS)} workloads byte-equal "
+              f"across {len(shard_sockets)} shards; routes {routes}")
+
+        for sock in (router_socket,):
+            with ServerClient(socket_path=sock, timeout=60) as client:
+                client.shutdown()
+        for proc in procs:
+            proc.communicate(timeout=120)
+        return {"shards": len(shard_sockets), "shard_routes": routes}
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+
+def run_saturation(output: str, jobs: int) -> int:
+    scale = _scale()
+    print(f"saturation scale: {scale} "
+          f"(REPRO_BENCH_SCALE={os.environ.get('REPRO_BENCH_SCALE', 'full')})")
+    stacks = {
+        "seed": ("--loop", "threads", "--pool", "spawn"),
+        "async": (),  # the defaults: async loop + warm pool
+    }
+    measured: dict[str, dict] = {}
+    with tempfile.TemporaryDirectory(prefix="repro-serve-sat-") as tmp:
+        for name, extra in stacks.items():
+            socket_path = os.path.join(tmp, f"{name}.sock")
+            daemon = _start_daemon(
+                socket_path, os.path.join(tmp, f"cache-{name}"),
+                "--jobs", str(jobs), *extra,
+            )
+            try:
+                measured[name] = _measure_warm_throughput(
+                    socket_path, scale["duration"], scale["conns"]
+                )
+                print(f"{name}: {measured[name]['rps']} req/s warm, "
+                      f"p99 {measured[name]['p99'] * 1000:.2f} ms")
+            finally:
+                if daemon.poll() is None:
+                    _stop(daemon, socket_path, f"{name} daemon")
+
+        # fleet identity runs against a freshly warmed single instance
+        solo_socket = os.path.join(tmp, "solo.sock")
+        solo = _start_daemon(
+            solo_socket, os.path.join(tmp, "cache-solo"), "--jobs", "2",
+        )
+        try:
+            from repro.server import ServerClient
+
+            with ServerClient(socket_path=solo_socket, timeout=300) as client:
+                for workload in WORKLOADS:
+                    client.optimize(workload)
+            fleet = _fleet_identity_check(tmp, solo_socket)
+        finally:
+            if solo.poll() is None:
+                _stop(solo, solo_socket, "solo daemon")
+
+    speedup = measured["async"]["rps"] / max(measured["seed"]["rps"], 0.001)
+    p99 = measured["async"]["p99"]
+    print(f"speedup: {speedup:.1f}x (gate {SPEEDUP_GATE}x), "
+          f"async warm p99 {p99 * 1000:.2f} ms "
+          f"(gate {P99_GATE_SECONDS * 1000:.0f} ms)")
+
+    artifact = {
+        "scale": scale,
+        "workloads": WORKLOADS,
+        "jobs": jobs,
+        "stacks": measured,
+        "speedup": round(speedup, 2),
+        "speedup_gate": SPEEDUP_GATE,
+        "p99_gate_seconds": P99_GATE_SECONDS,
+        "fleet": fleet,
+    }
+    with open(output, "w") as fh:
+        json.dump(artifact, fh, indent=1)
+    print(f"wrote {output}")
+
+    failures = []
+    if speedup < SPEEDUP_GATE:
+        failures.append(
+            f"saturation speedup {speedup:.1f}x below gate {SPEEDUP_GATE}x"
+        )
+    if p99 >= P99_GATE_SECONDS:
+        failures.append(
+            f"async warm p99 {p99 * 1000:.2f} ms over gate "
+            f"{P99_GATE_SECONDS * 1000:.0f} ms"
+        )
+    for failure in failures:
+        print(f"GATE FAILED: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("-o", "--output", default=None)
+    parser.add_argument("--jobs", type=int, default=4)
+    parser.add_argument("--saturation", action="store_true",
+                        help="measure warm throughput (seed vs async stack) "
+                             "and 2-shard fleet identity instead of the "
+                             "cold/warm smoke")
+    args = parser.parse_args(argv)
+    if args.saturation:
+        return run_saturation(args.output or "BENCH_server.json", args.jobs)
+    return run_smoke(args.output or "BENCH_server_smoke.json", args.jobs)
 
 
 if __name__ == "__main__":

@@ -45,7 +45,7 @@ try:
     # the daemon's response header, and `pip show repro` can never disagree.
     __version__ = _metadata.version("repro")
 except _metadata.PackageNotFoundError:  # running from a source checkout
-    __version__ = "1.2.0"
+    __version__ = "1.3.0"
 
 __all__ = [
     "OptimizationResult",

@@ -10,6 +10,9 @@ Usage::
     python -m repro list
     python -m repro suite --jobs 4 --filter 'heat-*'
     python -m repro serve --socket /tmp/repro.sock --jobs 4 --cache-dir cache
+    python -m repro route --socket /tmp/router.sock --shard /tmp/s0.sock \
+        --shard /tmp/s1.sock
+    python -m repro warm --socket /tmp/repro.sock --category motivation
     python -m repro client opt --workload heat-2dp --socket /tmp/repro.sock
 
 ``opt`` parses an affine C-like loop nest (or loads a registered workload),
@@ -19,7 +22,9 @@ illegal schedule); ``deps`` prints the dependence analysis; ``list``
 enumerates registered workloads; ``suite`` fans the workload matrix out
 over worker processes and writes a ``runs/<suite-id>/`` manifest; ``serve``
 runs the pipeline as a persistent daemon with a content-addressed schedule
-cache, and ``client`` talks to it.
+cache; ``route`` shards that cache across several daemons behind a
+consistent-hash router; ``warm`` pre-populates the cache over the suite
+matrix; and ``client`` talks to any of them.
 """
 
 from __future__ import annotations
@@ -165,8 +170,52 @@ def build_parser() -> argparse.ArgumentParser:
                             ".repro-cache; '' disables the disk tier)")
     serve.add_argument("--mem-entries", type=int, default=None, metavar="N",
                        help="in-memory cache entries (default 128)")
+    serve.add_argument("--loop", choices=("async", "threads"), default="async",
+                       help="serving loop: one asyncio event loop "
+                            "multiplexing every connection (default), or the "
+                            "original thread-per-connection loop")
+    serve.add_argument("--pool", choices=("warm", "spawn"), default="warm",
+                       help="worker pool: pre-forked persistent workers "
+                            "(default), or one fresh process per cache miss")
+    serve.add_argument("--recycle", type=int, default=None, metavar="N",
+                       help="warm pool: retire each worker after N requests "
+                            "(default 64)")
     serve.add_argument("--report", action="store_true",
                        help="print a metrics summary line on exit")
+
+    route = sub.add_parser(
+        "route",
+        help="shard the schedule cache across daemons behind a router",
+    )
+    add_endpoint_args(route)
+    route.add_argument("--shard", action="append", default=[],
+                       metavar="ENDPOINT", required=True,
+                       help="a shard daemon endpoint: a Unix socket path or "
+                            "host:port (repeatable; order is irrelevant — "
+                            "key placement depends only on the endpoint "
+                            "strings)")
+    route.add_argument("--report", action="store_true",
+                       help="print a metrics summary line on exit")
+
+    warm = sub.add_parser(
+        "warm",
+        help="pre-populate the schedule cache over the suite matrix",
+    )
+    add_endpoint_args(warm)
+    warm.add_argument("--jobs", type=int, default=4, metavar="N",
+                      help="concurrent client connections (default 4)")
+    warm.add_argument("--filter", action="append", default=[], metavar="GLOB",
+                      help="keep only workloads/run-ids matching this glob "
+                           "(repeatable)")
+    warm.add_argument("--category",
+                      choices=("periodic", "polybench", "motivation", "all"),
+                      default="periodic",
+                      help="workload category to warm (default: periodic)")
+    warm.add_argument("--variants", default="plutoplus",
+                      help="comma-separated option variants "
+                           "(plutoplus, pluto, notile, l2tile, quick, auto)")
+    warm.add_argument("--quiet", action="store_true",
+                      help="suppress per-spec progress lines")
 
     client = sub.add_parser("client", help="talk to a running repro daemon")
     csub = client.add_subparsers(dest="client_command", required=True)
@@ -417,8 +466,8 @@ def _cmd_serve(args) -> int:
     """Run the scheduling daemon until SIGTERM/SIGINT, then drain."""
     import os
 
-    from repro.server import Daemon, DaemonConfig
-    from repro.server.pool import DEFAULT_TIMEOUT as SERVE_TIMEOUT
+    from repro.server import Daemon, DaemonConfig, SocketInUse
+    from repro.server.pool import DEFAULT_RECYCLE, DEFAULT_TIMEOUT as SERVE_TIMEOUT
 
     if args.socket is None and args.port is None:
         raise SystemExit("error: serve needs --socket PATH or --port N")
@@ -431,6 +480,10 @@ def _cmd_serve(args) -> int:
             timeout=args.timeout if args.timeout is not None else SERVE_TIMEOUT,
             backlog=args.backlog,
             cache_dir=args.cache_dir or None,
+            loop=args.loop,
+            pool_mode=args.pool,
+            pool_recycle=(args.recycle if args.recycle is not None
+                          else DEFAULT_RECYCLE),
             **({} if args.mem_entries is None
                else {"memory_entries": args.mem_entries}),
         )
@@ -442,12 +495,86 @@ def _cmd_serve(args) -> int:
 
     print(f"# repro {__version__} serving on "
           f"{args.socket or f'{args.host}:{args.port}'} "
-          f"(jobs {config.jobs}, cache {config.cache_dir or 'memory-only'})",
+          f"(loop {config.loop}, pool {config.pool_mode}, jobs {config.jobs}, "
+          f"cache {config.cache_dir or 'memory-only'})",
           file=sys.stderr, flush=True)
-    daemon.serve()
+    try:
+        daemon.serve()
+    except SocketInUse as e:
+        raise SystemExit(f"error: {e}")
     if args.report:
         print(f"# {daemon.metrics.summary_line()}", file=sys.stderr)
     return 0
+
+
+def _cmd_route(args) -> int:
+    """Run the shard router until SIGTERM/SIGINT."""
+    from repro.server import Router, RouterConfig, SocketInUse
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("error: route needs --socket PATH or --port N")
+    try:
+        config = RouterConfig(
+            shards=args.shard,
+            socket_path=args.socket,
+            host=args.host,
+            port=args.port,
+        )
+    except ValueError as e:
+        raise SystemExit(f"error: {e}")
+    router = Router(config)
+    router.install_signal_handlers()
+    from repro import __version__
+
+    print(f"# repro {__version__} routing on "
+          f"{args.socket or f'{args.host}:{args.port}'} "
+          f"across {len(config.shards)} shard(s)",
+          file=sys.stderr, flush=True)
+    try:
+        router.serve()
+    except SocketInUse as e:
+        raise SystemExit(f"error: {e}")
+    if args.report:
+        print(f"# {router.metrics.summary_line()}", file=sys.stderr)
+    return 0
+
+
+def _cmd_warm(args) -> int:
+    """Pre-populate the cache over the matrix; exit nonzero on failures."""
+    from repro.server import warm_cache
+    from repro.suite import build_matrix
+
+    if args.socket is None and args.port is None:
+        raise SystemExit("error: warm needs --socket PATH or --port N")
+    specs = build_matrix(
+        category=args.category,
+        variants=[v.strip() for v in args.variants.split(",") if v.strip()],
+        filters=args.filter,
+    )
+    if not specs:
+        raise SystemExit(
+            "error: the matrix is empty (filters matched nothing); "
+            "run `python -m repro list` to see registered workloads"
+        )
+    progress = None if args.quiet else (
+        lambda o: print(
+            f"# {o['run_id']}: {o.get('cache') or o.get('status')}"
+            + (f" ({o['elapsed']:.3f}s)" if o.get("elapsed") is not None else ""),
+            file=sys.stderr, flush=True,
+        )
+    )
+    report = warm_cache(
+        specs,
+        socket_path=args.socket, host=args.host, port=args.port,
+        jobs=args.jobs,
+        progress=progress,
+    )
+    print(report.summary_line())
+    for failure in report.failed:
+        print(f"  failed: {failure['run_id']}: "
+              f"{failure.get('message') or failure.get('status')}",
+              file=sys.stderr)
+    return 0 if not report.failed else 1
 
 
 def _client_connect(args):
@@ -579,6 +706,8 @@ _COMMANDS = {
     "list": _cmd_list,
     "suite": _cmd_suite,
     "serve": _cmd_serve,
+    "route": _cmd_route,
+    "warm": _cmd_warm,
     "client": _cmd_client,
 }
 

@@ -11,13 +11,22 @@ run.  The pieces:
 * :mod:`repro.server.cache`    — the two-tier content-addressed schedule
   cache (in-memory LRU over an atomic on-disk store), keyed by
   ``sha256(canonical IR + options + pipeline version)``;
-* :mod:`repro.server.pool`     — a per-request worker-process pool on the
-  shared supervision layer (:mod:`repro.workers`), with a bounded queue;
-* :mod:`repro.server.daemon`   — the socket server: single-flight request
-  coalescing, admission control with explicit busy responses, graceful
-  drain on SIGTERM;
+* :mod:`repro.server.pool`     — the worker pools: pre-forked persistent
+  warm workers (the default) or spawn-per-miss on the shared supervision
+  layer (:mod:`repro.workers`), both with a bounded queue;
+* :mod:`repro.server.daemon`   — the socket server (an asyncio loop by
+  default, the original thread-per-connection loop as a fallback):
+  single-flight request coalescing, admission control with explicit busy
+  responses, graceful drain on SIGTERM;
+* :mod:`repro.server.resolve`  — request → (program, options, key)
+  resolution, memoized for workload-name requests on the warm path;
+* :mod:`repro.server.shard`    — consistent-hash cache sharding across N
+  daemons behind a thin router (``repro route``);
+* :mod:`repro.server.warm`     — ``repro warm``: pre-populate the cache
+  over the suite engine's workload × variant matrix;
 * :mod:`repro.server.metrics`  — hit rates, queue depth, in-flight count,
-  per-stage latency percentiles, exposed via ``stats`` requests;
+  pool reuse and shard routing counters, per-stage latency percentiles,
+  exposed via ``stats`` requests;
 * :mod:`repro.server.client`   — the blocking client used by
   ``repro client`` and scripts.
 
@@ -28,19 +37,28 @@ surface: serialized IR from :mod:`repro.frontend.serialize` in, full
 
 from repro.server.cache import ScheduleCache, cache_key
 from repro.server.client import ServerClient
-from repro.server.daemon import Daemon, DaemonConfig
+from repro.server.daemon import Daemon, DaemonConfig, SocketInUse
 from repro.server.metrics import ServerMetrics
-from repro.server.pool import WorkerPool
+from repro.server.pool import WarmWorkerPool, WorkerPool
 from repro.server.protocol import PROTOCOL_VERSION, ProtocolError
+from repro.server.shard import Router, RouterConfig, ShardRing
+from repro.server.warm import WarmReport, warm_cache
 
 __all__ = [
     "Daemon",
     "DaemonConfig",
     "PROTOCOL_VERSION",
     "ProtocolError",
+    "Router",
+    "RouterConfig",
     "ScheduleCache",
     "ServerClient",
     "ServerMetrics",
+    "ShardRing",
+    "SocketInUse",
+    "WarmReport",
+    "WarmWorkerPool",
     "WorkerPool",
     "cache_key",
+    "warm_cache",
 ]

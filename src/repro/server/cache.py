@@ -34,6 +34,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
@@ -45,6 +46,11 @@ from repro.pipeline import RESULT_FORMAT_VERSION, pipeline_fingerprint
 __all__ = ["CacheStats", "ScheduleCache", "cache_key", "canonical_request"]
 
 DEFAULT_MEMORY_ENTRIES = 128
+
+#: ``<key>.tmp.<pid>`` files older than this are orphans of a writer that
+#: died between write and rename; younger ones may belong to a live writer
+#: in another daemon sharing the directory, so the startup sweep skips them
+TMP_SWEEP_AGE = 300.0
 
 
 def canonical_request(program_dict: dict, options_dict: dict) -> str:
@@ -76,6 +82,7 @@ class CacheStats:
     stores: int = 0
     evictions: int = 0
     invalid_dropped: int = 0
+    tmp_swept: int = 0
 
     @property
     def lookups(self) -> int:
@@ -94,6 +101,7 @@ class CacheStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "invalid_dropped": self.invalid_dropped,
+            "tmp_swept": self.tmp_swept,
             "lookups": self.lookups,
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -118,6 +126,28 @@ class ScheduleCache:
         self._lock = Lock()
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+            self.stats.tmp_swept = self._sweep_tmp()
+
+    def _sweep_tmp(self, max_age: float = TMP_SWEEP_AGE) -> int:
+        """Remove orphaned atomic-write temporaries left by killed writers.
+
+        A writer killed between ``tmp.write_text`` and ``os.replace``
+        leaves ``<key>.tmp.<pid>`` behind forever; nothing ever looks one
+        up, so startup is the only place to reclaim the space.  Files
+        younger than ``max_age`` are left alone — they may belong to a
+        live writer in another daemon sharing this directory.
+        """
+        swept = 0
+        now = time.time()
+        for tmp in self.cache_dir.glob("*/*.tmp.*"):
+            try:
+                if now - tmp.stat().st_mtime < max_age:
+                    continue
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                continue  # raced another sweeper, or unreadable: skip
+        return swept
 
     def path_for(self, key: str) -> Optional[Path]:
         if self.cache_dir is None:

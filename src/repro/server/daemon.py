@@ -1,17 +1,29 @@
 """The scheduling daemon: socket server, single-flight, graceful drain.
 
-Thread model: the main thread runs the accept loop; each client connection
-gets a reader thread that handles its requests in order; the pool's
-dispatcher thread supervises worker processes.  Seconds-long scheduling
-work never runs on any of these threads — it runs in per-request worker
-processes — so the GIL is irrelevant here.
+Two serving loops share one request pipeline:
+
+* ``loop="async"`` (the default) runs a single asyncio event loop that
+  multiplexes every client connection — hundreds of concurrent sockets
+  cost one thread, and the warm path (memoized request resolution, memory
+  cache hit, pre-serialized response splice) never leaves the loop.
+* ``loop="threads"`` is the original thread-per-connection accept loop,
+  kept for comparison benchmarks and as a fallback; it serves each
+  connection from a reader thread and prunes the thread when the
+  connection closes.
+
+Seconds-long scheduling work never runs on either loop — it runs in the
+worker pool's processes (pre-forked warm workers by default,
+spawn-per-miss with ``pool_mode="spawn"``) — so the GIL is irrelevant to
+miss latency.
 
 Request path for ``optimize``:
 
 1. resolve the request to ``(serialized program, resolved options)`` —
    a registered workload name picks up its paper flags (``iss``/
    ``diamond``) underneath the caller's overrides, exactly like
-   ``repro opt``;
+   ``repro opt``; the async loop memoizes workload-name resolutions
+   (registry and factories are fixed per process) so warm requests skip
+   program rebuild + hashing entirely;
 2. probe the two-tier cache; a hit answers immediately (``hit-memory`` /
    ``hit-disk``);
 3. on a miss, *single-flight* the key: the first requester submits one
@@ -21,37 +33,102 @@ Request path for ``optimize``:
    with an explicit ``busy`` response — clients retry, the daemon never
    builds unbounded latency;
 5. the pool completion callback stores the result in both cache tiers and
-   wakes every waiter.  Worker crashes and timeouts become structured
-   ``error`` responses for exactly the requests that needed that key; the
-   daemon itself never dies with a worker.
+   wakes every waiter — threads block on an event, async waiters are woken
+   via ``call_soon_threadsafe``.  Worker crashes and timeouts become
+   structured ``error`` responses for exactly the requests that needed
+   that key; the daemon itself never dies with a worker.
 
 ``SIGTERM``/``SIGINT`` trigger a graceful drain: stop accepting, finish
 in-flight work, answer late requests with ``shutting-down``, close
 connections, leave the on-disk cache ready for the next start.
+
+Binding a Unix socket never clobbers a live daemon: the path is
+probe-connected first, and only a genuinely stale socket (connection
+refused) is unlinked — a live one raises :class:`SocketInUse`.
 """
 
 from __future__ import annotations
 
+import asyncio
 import contextlib
+import json
 import os
 import signal
 import socket
+import stat
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.server import protocol
 from repro.server.cache import DEFAULT_MEMORY_ENTRIES, ScheduleCache, cache_key
 from repro.server.metrics import ServerMetrics
-from repro.server.pool import DEFAULT_TIMEOUT, PoolJob, WorkerPool
+from repro.server.pool import (
+    DEFAULT_RECYCLE,
+    DEFAULT_TIMEOUT,
+    PoolJob,
+    WarmWorkerPool,
+    WorkerPool,
+)
+from repro.server.resolve import ResolveMemo, resolve_optimize
 from repro.workers import WorkerEvent
 
-__all__ = ["Daemon", "DaemonConfig"]
+__all__ = ["Daemon", "DaemonConfig", "SocketInUse", "claim_unix_path"]
 
 #: optimize() waiters give the pool this much slack past the worker
 #: deadline before declaring the daemon itself wedged
 _WAIT_GRACE = 30.0
+
+#: asyncio stream limit: request/response lines carry whole serialized
+#: programs and results, far past the 64 KiB default
+STREAM_LIMIT = 64 * 1024 * 1024
+
+
+class SocketInUse(RuntimeError):
+    """The Unix socket path belongs to a live daemon (or isn't ours)."""
+
+
+def claim_unix_path(path: str) -> None:
+    """Make ``path`` safe to bind, without orphaning a live daemon.
+
+    A leftover socket from a dead daemon (probe-connect refused) is
+    unlinked; a socket something is still accepting on — or a path that
+    is not a socket at all — raises :class:`SocketInUse` instead of the
+    old silent ``os.unlink``.
+    """
+    try:
+        mode = os.stat(path).st_mode
+    except FileNotFoundError:
+        return
+    except OSError as e:
+        raise SocketInUse(f"cannot stat socket path {path!r}: {e}") from None
+    if not stat.S_ISSOCK(mode):
+        raise SocketInUse(
+            f"refusing to serve on {path!r}: the path exists and is not a "
+            f"socket"
+        )
+    probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    probe.settimeout(1.0)
+    try:
+        probe.connect(path)
+    except (ConnectionRefusedError, socket.timeout):
+        with contextlib.suppress(OSError):
+            os.unlink(path)  # stale socket from a dead daemon
+    except FileNotFoundError:
+        pass  # unlinked between stat and connect: nothing to do
+    except OSError as e:
+        raise SocketInUse(
+            f"refusing to serve on {path!r}: probe failed ({e})"
+        ) from None
+    else:
+        raise SocketInUse(
+            f"another daemon is already serving on {path!r}; shut it down "
+            f"first (repro client shutdown --socket {path}) or pick a "
+            f"different --socket"
+        )
+    finally:
+        probe.close()
 
 
 @dataclass
@@ -65,20 +142,58 @@ class DaemonConfig:
     cache_dir: Optional[str] = ".repro-cache"
     memory_entries: int = DEFAULT_MEMORY_ENTRIES
     drain_seconds: float = 60.0         # SIGTERM: wait this long for workers
+    loop: str = "async"                 # "async" | "threads" (legacy)
+    pool_mode: str = "warm"             # "warm" | "spawn" (legacy)
+    pool_recycle: int = DEFAULT_RECYCLE  # warm pool: requests per worker
 
     def __post_init__(self) -> None:
         if (self.socket_path is None) == (self.port is None):
             raise ValueError("configure exactly one of socket_path or port")
+        if self.loop not in ("async", "threads"):
+            raise ValueError(f"loop must be 'async' or 'threads', got {self.loop!r}")
+        if self.pool_mode not in ("warm", "spawn"):
+            raise ValueError(
+                f"pool_mode must be 'warm' or 'spawn', got {self.pool_mode!r}"
+            )
 
 
 class _Flight:
-    """One in-flight computation; waiters block on the event."""
+    """One in-flight computation; thread waiters block on the event,
+    async waiters park a future that ``settle()`` completes thread-safely."""
 
     def __init__(self) -> None:
         self.event = threading.Event()
         self.response: Optional[dict] = None
         self.result_text: Optional[str] = None
         self.compute_seconds: float = 0.0
+        self._waiters: list[tuple[asyncio.AbstractEventLoop, asyncio.Future]] = []
+        self._lock = threading.Lock()
+
+    def settle(self) -> None:
+        with self._lock:
+            self.event.set()
+            waiters, self._waiters = self._waiters, []
+        for loop, future in waiters:
+            with contextlib.suppress(RuntimeError):
+                loop.call_soon_threadsafe(self._finish_future, future)
+
+    @staticmethod
+    def _finish_future(future: asyncio.Future) -> None:
+        if not future.done():
+            future.set_result(True)
+
+    async def wait_async(self, timeout: float) -> bool:
+        loop = asyncio.get_running_loop()
+        with self._lock:
+            if self.event.is_set():
+                return True
+            future: asyncio.Future = loop.create_future()
+            self._waiters.append((loop, future))
+        try:
+            await asyncio.wait_for(future, timeout)
+            return True
+        except asyncio.TimeoutError:
+            return False
 
 
 class Daemon:
@@ -87,26 +202,210 @@ class Daemon:
         self.cache = ScheduleCache(
             config.cache_dir or None, memory_entries=config.memory_entries
         )
-        self.pool = WorkerPool(
-            config.jobs, timeout=config.timeout, backlog=config.backlog
-        )
         self.metrics = ServerMetrics()
+        if config.pool_mode == "warm":
+            self.pool = WarmWorkerPool(
+                config.jobs, timeout=config.timeout, backlog=config.backlog,
+                recycle=config.pool_recycle, metrics=self.metrics,
+            )
+        else:
+            self.pool = WorkerPool(
+                config.jobs, timeout=config.timeout, backlog=config.backlog
+            )
+        self._memo = ResolveMemo()
         self._flights: dict[str, _Flight] = {}
         self._flights_lock = threading.Lock()
         self._stop = threading.Event()
         self._listener: Optional[socket.socket] = None
-        self._conn_threads: list[threading.Thread] = []
-        self._open_conns: set[socket.socket] = set()
+        self._conn_threads: set[threading.Thread] = set()
+        self._open_conns: set = set()  # sockets (threads) or writers (async)
         self._conns_lock = threading.Lock()
+        self._conn_tasks: set = set()
+        self._busy_requests = 0
         self.bound_address: Optional[object] = None
 
     # -- lifecycle ---------------------------------------------------------
 
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (main thread only)."""
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda signum, frame: self._stop.set())
+
+    def serve(self) -> None:
+        """Bind, accept until asked to stop, then drain.  Blocks."""
+        if self.config.loop == "async":
+            asyncio.run(self._serve_async())
+        else:
+            self._serve_threads()
+
+    def shutdown(self) -> None:
+        """Ask the daemon to drain and stop (thread-safe, returns fast)."""
+        self._stop.set()
+
+    def _drain_pool(self) -> None:
+        drained = self.pool.drain(timeout=self.config.drain_seconds)
+        if not drained:
+            self.pool.stop()  # stragglers: kill, fail their flights
+
+    # -- the async loop ----------------------------------------------------
+
+    async def _serve_async(self) -> None:
+        if self.config.socket_path is not None:
+            claim_unix_path(self.config.socket_path)
+        self.pool.start()
+        loop = asyncio.get_running_loop()
+        if self.config.socket_path is not None:
+            server = await asyncio.start_unix_server(
+                self._serve_async_connection,
+                path=self.config.socket_path, limit=STREAM_LIMIT,
+            )
+            self.bound_address = self.config.socket_path
+        else:
+            server = await asyncio.start_server(
+                self._serve_async_connection,
+                host=self.config.host, port=self.config.port,
+                limit=STREAM_LIMIT,
+            )
+            self.bound_address = server.sockets[0].getsockname()
+        try:
+            while not self._stop.is_set():
+                await asyncio.sleep(0.05)
+        finally:
+            server.close()
+            await server.wait_closed()
+            # Workers settle their flights inside drain (which runs off
+            # the loop, so waiters write their responses meanwhile) ...
+            await loop.run_in_executor(None, self._drain_pool)
+            deadline = loop.time() + 5.0
+            while self._busy_requests and loop.time() < deadline:
+                await asyncio.sleep(0.01)
+            # ... now cut the readers loose.
+            with self._conns_lock:
+                writers = list(self._open_conns)
+            for writer in writers:
+                with contextlib.suppress(Exception):
+                    writer.close()
+            tasks = [t for t in self._conn_tasks if not t.done()]
+            if tasks:
+                await asyncio.wait(tasks, timeout=5.0)
+            if self.config.socket_path is not None:
+                with contextlib.suppress(OSError):
+                    os.unlink(self.config.socket_path)
+
+    async def _serve_async_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        with self._conns_lock:
+            self._open_conns.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return  # orderly EOF
+                try:
+                    request = protocol.parse_line(line)
+                except protocol.ProtocolError as e:
+                    self.metrics.count_error("bad-request")
+                    writer.write(protocol.encode_message(
+                        protocol.error_response(None, "bad-request", str(e))
+                    ))
+                    await writer.drain()
+                    continue
+                if request is None:
+                    continue  # blank line
+                self._busy_requests += 1
+                try:
+                    response = await self._handle_async(request)
+                finally:
+                    self._busy_requests -= 1
+                writer.write(response)
+                await writer.drain()
+                if request.get("type") == "shutdown":
+                    return
+        except (OSError, ValueError, ConnectionError):
+            pass  # client went away mid-message; nothing to answer
+        finally:
+            with self._conns_lock:
+                self._open_conns.discard(writer)
+            self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    async def _handle_async(self, request: dict) -> bytes:
+        t_arrival = time.perf_counter()
+        try:
+            protocol.validate_request(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.encode_message(
+                protocol.error_response(request, "bad-request", str(e))
+            )
+        rtype = request["type"]
+        self.metrics.count_request(rtype)
+        if rtype != "optimize":
+            return protocol.encode_message(self._handle_control(request, rtype))
+
+        try:
+            program_dict, options_dict, key = self._memo.resolve(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.encode_message(
+                protocol.error_response(request, "bad-request", str(e))
+            )
+
+        text, tier = self.cache.get(key)
+        self.metrics.observe("lookup", time.perf_counter() - t_arrival)
+        if text is not None:
+            return self._ok_bytes(request, key, f"hit-{tier}", text, t_arrival)
+
+        if self._stop.is_set():
+            self.metrics.count_error("shutting-down")
+            return protocol.encode_message(protocol.error_response(
+                request, "shutting-down", "daemon is draining; not accepting work"
+            ))
+
+        flight, owner = self._join_flight(key, program_dict, options_dict)
+        if flight is None:
+            self.metrics.count_busy()
+            return protocol.encode_message(self._busy_response(request))
+
+        if not await flight.wait_async(self.config.timeout + _WAIT_GRACE):
+            self.metrics.count_error("wedged")
+            return protocol.encode_message(protocol.error_response(
+                request, "error", "internal: flight never settled"
+            ))
+        if flight.result_text is None:
+            return protocol.encode_message(
+                {**protocol.response_header(request), **flight.response}
+            )
+        if owner:
+            self._count_owner_scheduler(flight.result_text)
+        cache_tag = "miss" if owner else "coalesced"
+        return self._ok_bytes(request, key, cache_tag, flight.result_text,
+                              t_arrival)
+
+    def _ok_bytes(
+        self, request: dict, key: str, cache_tag: str, result_text: str,
+        t_arrival: float,
+    ) -> bytes:
+        elapsed = time.perf_counter() - t_arrival
+        self.metrics.count_outcome(cache_tag)
+        self.metrics.observe("total", elapsed)
+        head = {
+            **protocol.response_header(request),
+            "status": "ok",
+            "cache": cache_tag,
+            "key": key,
+            "elapsed": round(elapsed, 6),
+        }
+        return protocol.encode_response_with_result(head, result_text)
+
+    # -- the legacy thread-per-connection loop -----------------------------
+
     def _bind(self) -> socket.socket:
         if self.config.socket_path is not None:
             path = self.config.socket_path
-            with contextlib.suppress(OSError):
-                os.unlink(path)  # stale socket from a dead daemon
+            claim_unix_path(path)
             listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
             listener.bind(path)
             self.bound_address = path
@@ -119,15 +418,9 @@ class Daemon:
         listener.settimeout(0.2)  # poll the stop event between accepts
         return listener
 
-    def install_signal_handlers(self) -> None:
-        """SIGTERM/SIGINT → graceful drain (main thread only)."""
-        for sig in (signal.SIGTERM, signal.SIGINT):
-            signal.signal(sig, lambda signum, frame: self._stop.set())
-
-    def serve(self) -> None:
-        """Bind, accept until asked to stop, then drain.  Blocks."""
-        self.pool.start()
+    def _serve_threads(self) -> None:
         self._listener = self._bind()
+        self.pool.start()
         try:
             while not self._stop.is_set():
                 try:
@@ -142,25 +435,19 @@ class Daemon:
                 )
                 with self._conns_lock:
                     self._open_conns.add(conn)
-                    self._conn_threads.append(thread)
+                    self._conn_threads.add(thread)
                 thread.start()
         finally:
-            self._shutdown()
+            self._shutdown_threads()
 
-    def shutdown(self) -> None:
-        """Ask the daemon to drain and stop (thread-safe, returns fast)."""
-        self._stop.set()
-
-    def _shutdown(self) -> None:
+    def _shutdown_threads(self) -> None:
         if self._listener is not None:
             with contextlib.suppress(OSError):
                 self._listener.close()
         if self.config.socket_path is not None:
             with contextlib.suppress(OSError):
                 os.unlink(self.config.socket_path)
-        drained = self.pool.drain(timeout=self.config.drain_seconds)
-        if not drained:
-            self.pool.stop()  # stragglers: kill, fail their flights
+        self._drain_pool()
         # In-flight responses are out (flights settle before the pool
         # reports drained); now cut the readers loose.
         with self._conns_lock:
@@ -173,8 +460,6 @@ class Daemon:
                 conn.close()
         for thread in threads:
             thread.join(timeout=5.0)
-
-    # -- connection handling -----------------------------------------------
 
     def _serve_connection(self, conn: socket.socket) -> None:
         try:
@@ -202,6 +487,9 @@ class Daemon:
                 conn.close()
             with self._conns_lock:
                 self._open_conns.discard(conn)
+                # finished threads used to accumulate for the daemon's
+                # lifetime; prune on connection close instead
+                self._conn_threads.discard(threading.current_thread())
 
     def _handle(self, request: dict) -> dict:
         t_arrival = time.perf_counter()
@@ -212,7 +500,13 @@ class Daemon:
             return protocol.error_response(request, "bad-request", str(e))
         rtype = request["type"]
         self.metrics.count_request(rtype)
+        if rtype != "optimize":
+            return self._handle_control(request, rtype)
+        return self._handle_optimize(request, t_arrival)
 
+    # -- shared handling ---------------------------------------------------
+
+    def _handle_control(self, request: dict, rtype: str) -> dict:
         if rtype == "ping":
             return {**protocol.response_header(request), "status": "ok"}
         if rtype == "stats":
@@ -221,59 +515,47 @@ class Daemon:
                 "status": "ok",
                 "stats": self.stats(),
             }
-        if rtype == "shutdown":
-            self.shutdown()
-            return {
-                **protocol.response_header(request),
-                "status": "ok",
-                "draining": True,
-            }
-        return self._handle_optimize(request, t_arrival)
+        # shutdown
+        self.shutdown()
+        return {
+            **protocol.response_header(request),
+            "status": "ok",
+            "draining": True,
+        }
 
-    # -- the optimize path -------------------------------------------------
+    def _busy_response(self, request: dict) -> dict:
+        in_flight, queued = self.pool.load()
+        return {
+            **protocol.response_header(request),
+            "status": "busy",
+            "message": (
+                f"queue full ({in_flight} in flight, {queued} queued); "
+                f"retry later"
+            ),
+            "in_flight": in_flight,
+            "queued": queued,
+        }
+
+    def _count_owner_scheduler(self, result_text: str) -> None:
+        # One computation, counted once: which scheduler path won and,
+        # when the quick heuristic bowed out, why.
+        sched_stats = json.loads(result_text).get("scheduler_stats") or {}
+        self.metrics.count_scheduler(
+            sched_stats.get("scheduler_path"),
+            sched_stats.get("fallback_reason"),
+        )
+
+    # -- the optimize path (threads loop) ----------------------------------
 
     def _resolve(self, request: dict) -> tuple[dict, dict]:
         """Request → (serialized program, resolved options dict).
 
-        Raises :class:`protocol.ProtocolError` for anything the caller got
-        wrong: unknown workload, malformed IR, bad option values.
+        The seed resolution path, unmemoized — the async loop resolves
+        through :class:`~repro.server.resolve.ResolveMemo` instead.
         """
-        from repro.frontend.serialize import program_from_dict, program_to_dict
-        from repro.pipeline import PipelineOptions
-
-        overrides = dict(request.get("options") or {})
-        unknown = set(overrides) - set(PipelineOptions.__dataclass_fields__)
-        if unknown:
-            raise protocol.ProtocolError(
-                f"unknown PipelineOptions fields: {sorted(unknown)}"
-            )
-        try:
-            if "workload" in request:
-                from repro.workloads import get_workload
-
-                try:
-                    w = get_workload(request["workload"])
-                except KeyError as e:
-                    raise protocol.ProtocolError(str(e)) from None
-                base = {"iss": w.iss, "diamond": w.diamond}
-                base.update(overrides)
-                algorithm = base.pop("algorithm", "plutoplus")
-                options = PipelineOptions(algorithm=algorithm, **base)
-                program = w.program()
-            else:
-                program = program_from_dict(request["program"])
-                options = PipelineOptions(**overrides)
-        except protocol.ProtocolError:
-            raise
-        except (TypeError, ValueError, KeyError) as e:
-            raise protocol.ProtocolError(
-                f"cannot resolve optimize request: {e}"
-            ) from None
-        return program_to_dict(program), options.as_dict()
+        return resolve_optimize(request)
 
     def _handle_optimize(self, request: dict, t_arrival: float) -> dict:
-        import json
-
         try:
             program_dict, options_dict = self._resolve(request)
         except protocol.ProtocolError as e:
@@ -297,17 +579,7 @@ class Daemon:
         flight, owner = self._join_flight(key, program_dict, options_dict)
         if flight is None:
             self.metrics.count_busy()
-            in_flight, queued = self.pool.load()
-            return {
-                **protocol.response_header(request),
-                "status": "busy",
-                "message": (
-                    f"queue full ({in_flight} in flight, {queued} queued); "
-                    f"retry later"
-                ),
-                "in_flight": in_flight,
-                "queued": queued,
-            }
+            return self._busy_response(request)
 
         # Workers are deadline-killed, and a dying pool fails its flights,
         # so this wait terminates; the grace margin is pure paranoia.
@@ -321,13 +593,7 @@ class Daemon:
         cache_tag = "miss" if owner else "coalesced"
         payload = json.loads(flight.result_text)
         if owner:
-            # One computation, counted once: which scheduler path won and,
-            # when the quick heuristic bowed out, why.
-            sched_stats = payload.get("scheduler_stats") or {}
-            self.metrics.count_scheduler(
-                sched_stats.get("scheduler_path"),
-                sched_stats.get("fallback_reason"),
-            )
+            self._count_owner_scheduler(flight.result_text)
         return self._ok_response(request, key, cache_tag, payload, t_arrival)
 
     def _join_flight(
@@ -373,7 +639,7 @@ class Daemon:
                 "key": key,
             }
             self.metrics.count_error(ev.kind)
-        flight.event.set()
+        flight.settle()
 
     def _ok_response(
         self, request: dict, key: str, cache_tag: str, payload: dict,
@@ -404,6 +670,8 @@ class Daemon:
                 connections=connections,
                 jobs=self.pool.jobs,
                 backlog=self.pool.backlog,
+                loop=self.config.loop,
+                pool_mode=self.config.pool_mode,
             ),
             "cache": self.cache.snapshot(),
         }

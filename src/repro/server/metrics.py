@@ -77,6 +77,13 @@ class ServerMetrics:
         self.scheduler_paths: dict[str, int] = {}
         # fallback reason -> count, e.g. {"untilable-band": 1}
         self.fallback_reasons: dict[str, int] = {}
+        # warm worker pool accounting (spawn-per-miss pools leave these 0)
+        self.pool_spawns = 0       # workers forked (initial + replacements)
+        self.pool_dispatches = 0   # jobs handed to a worker
+        self.pool_reuses = 0       # ... to a worker that had served before
+        self.pool_recycles = 0     # workers retired at the recycle limit
+        # router-side: shard endpoint -> forwarded optimize requests
+        self.shard_routes: dict[str, int] = {}
         self._latency = {
             "lookup": LatencyWindow(window),
             "compute": LatencyWindow(window),
@@ -121,6 +128,27 @@ class ServerMetrics:
                     self.fallback_reasons.get(reason, 0) + 1
                 )
 
+    def count_pool_spawn(self) -> None:
+        with self._lock:
+            self.pool_spawns += 1
+
+    def count_pool_dispatch(self, reused: bool) -> None:
+        """One job handed to a warm worker; ``reused`` when that worker
+        had already served at least one request (the pre-fork payoff)."""
+        with self._lock:
+            self.pool_dispatches += 1
+            if reused:
+                self.pool_reuses += 1
+
+    def count_pool_recycle(self) -> None:
+        with self._lock:
+            self.pool_recycles += 1
+
+    def count_shard_route(self, shard: str) -> None:
+        """One optimize request forwarded to ``shard`` (router only)."""
+        with self._lock:
+            self.shard_routes[shard] = self.shard_routes.get(shard, 0) + 1
+
     def count_busy(self) -> None:
         with self._lock:
             self.busy += 1
@@ -162,6 +190,13 @@ class ServerMetrics:
                 "errors": dict(self.errors),
                 "scheduler_paths": dict(self.scheduler_paths),
                 "fallback_reasons": dict(self.fallback_reasons),
+                "pool": {
+                    "spawns": self.pool_spawns,
+                    "dispatches": self.pool_dispatches,
+                    "reuses": self.pool_reuses,
+                    "recycles": self.pool_recycles,
+                },
+                "shard_routes": dict(self.shard_routes),
                 "hit_rate": round(self.hit_rate, 4),
                 "latency": {
                     name: window.as_dict()

@@ -1,0 +1,344 @@
+"""Cache sharding: a consistent-hash ring and the thin request router.
+
+``repro route`` runs a :class:`Router` in front of N ordinary daemons
+("shards"), partitioning the content-addressed cache by key: every
+``optimize`` request resolves to its cache key (the same
+:func:`~repro.server.cache.cache_key` the daemon itself would compute) and
+is forwarded to the one shard that owns that key on the
+:class:`ShardRing`.  Each key therefore has exactly one home — one shard's
+memory LRU warms for it, one disk store holds it, and single-flight
+coalescing keeps working fleet-wide because concurrent requests for a key
+all land on the same daemon.
+
+The ring is the textbook consistent-hash construction: each shard endpoint
+is hashed onto the circle at :data:`VNODES` points (virtual nodes smooth
+the load split), a key is owned by the first point clockwise of its hash,
+and adding or removing one shard remaps only ~1/N of the keyspace — a
+grown fleet keeps most of its warm cache.
+
+The router is deliberately thin: it resolves + hashes (memoized for
+workload-name requests), picks the shard, forwards the client's request
+line, and relays the shard's response line back *verbatim* — responses
+through the router are byte-identical to talking to the shard directly.
+It computes no schedules, caches no results, and holds no state beyond
+idle shard connections (reused across requests, reopened once on a broken
+pipe).  ``ping`` is answered locally; ``stats`` aggregates the fleet;
+``shutdown`` fans out to every shard before the router itself drains.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import contextlib
+import hashlib
+import signal
+import threading
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.server import protocol
+from repro.server.daemon import STREAM_LIMIT
+from repro.server.metrics import ServerMetrics
+from repro.server.resolve import ResolveMemo
+
+__all__ = ["Router", "RouterConfig", "ShardRing", "parse_endpoint"]
+
+#: virtual nodes per shard endpoint; 64 keeps the max/mean load ratio of a
+#: few-shard fleet within a few percent without a noticeable ring
+VNODES = 64
+
+
+def parse_endpoint(endpoint: str) -> tuple[str, ...]:
+    """``"host:port"`` → ``("tcp", host, port)``; anything else is a Unix
+    socket path → ``("unix", path)``."""
+    host, sep, port = endpoint.rpartition(":")
+    if sep and port.isdigit() and "/" not in host:
+        return ("tcp", host or "127.0.0.1", int(port))
+    return ("unix", endpoint)
+
+
+def _ring_hash(text: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(text.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRing:
+    """Consistent-hash ring over shard endpoint strings.
+
+    Deterministic across processes and runs: placement depends only on the
+    endpoint strings, so a router restart (or a second router in front of
+    the same fleet) routes identically.
+    """
+
+    def __init__(self, endpoints: Sequence[str], vnodes: int = VNODES):
+        if not endpoints:
+            raise ValueError("a shard ring needs at least one endpoint")
+        if len(set(endpoints)) != len(endpoints):
+            raise ValueError(f"duplicate shard endpoints: {list(endpoints)}")
+        self.endpoints = list(endpoints)
+        self.vnodes = vnodes
+        points = []
+        for endpoint in self.endpoints:
+            for i in range(vnodes):
+                points.append((_ring_hash(f"{endpoint}#{i}"), endpoint))
+        points.sort()
+        self._hashes = [h for h, _ in points]
+        self._owners = [e for _, e in points]
+
+    def owner(self, key: str) -> str:
+        """The endpoint owning ``key`` (first ring point clockwise)."""
+        idx = bisect.bisect_right(self._hashes, _ring_hash(key))
+        return self._owners[idx % len(self._owners)]
+
+    def spread(self, keys: Sequence[str]) -> dict[str, int]:
+        """Key count per endpoint — for tests and ``stats`` curiosity."""
+        out = {e: 0 for e in self.endpoints}
+        for key in keys:
+            out[self.owner(key)] += 1
+        return out
+
+
+@dataclass
+class RouterConfig:
+    shards: Sequence[str] = ()          # daemon endpoints (unix paths or host:port)
+    socket_path: Optional[str] = None   # where the router itself listens
+    host: str = "127.0.0.1"
+    port: Optional[int] = None
+    connect_timeout: float = 10.0
+    vnodes: int = VNODES
+
+    def __post_init__(self) -> None:
+        if (self.socket_path is None) == (self.port is None):
+            raise ValueError("configure exactly one of socket_path or port")
+        if not self.shards:
+            raise ValueError("a router needs at least one shard endpoint")
+
+
+class _ShardLink:
+    """Idle-connection pool for one shard (all use is on the event loop)."""
+
+    def __init__(self, endpoint: str, connect_timeout: float):
+        self.endpoint = endpoint
+        self.connect_timeout = connect_timeout
+        self.idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+
+    async def _open(self):
+        kind = parse_endpoint(self.endpoint)
+        if kind[0] == "unix":
+            opener = asyncio.open_unix_connection(kind[1], limit=STREAM_LIMIT)
+        else:
+            opener = asyncio.open_connection(kind[1], kind[2], limit=STREAM_LIMIT)
+        return await asyncio.wait_for(opener, self.connect_timeout)
+
+    async def roundtrip(self, line: bytes) -> bytes:
+        """Send one request line, return the shard's response line verbatim.
+
+        A pooled connection may have died since it was parked (daemon
+        restart, idle timeout); one retry on a fresh connection covers
+        that, and a second failure is the shard's problem, not the pool's.
+        """
+        for attempt in (0, 1):
+            fresh = not self.idle
+            reader, writer = self.idle.pop() if self.idle else await self._open()
+            try:
+                writer.write(line)
+                await writer.drain()
+                response = await reader.readline()
+                if not response:
+                    raise ConnectionError("shard closed the connection")
+            except (OSError, ConnectionError, asyncio.IncompleteReadError):
+                with contextlib.suppress(Exception):
+                    writer.close()
+                if fresh or attempt:
+                    raise
+                continue  # stale pooled connection: retry on a fresh one
+            self.idle.append((reader, writer))
+            return response
+        raise ConnectionError("unreachable")  # pragma: no cover
+
+    def close(self) -> None:
+        idle, self.idle = self.idle, []
+        for _, writer in idle:
+            with contextlib.suppress(Exception):
+                writer.close()
+
+
+class Router:
+    """The thin routing tier in front of a sharded daemon fleet."""
+
+    def __init__(self, config: RouterConfig):
+        self.config = config
+        self.ring = ShardRing(config.shards, vnodes=config.vnodes)
+        self.metrics = ServerMetrics()
+        self._memo = ResolveMemo()
+        self._links = {
+            endpoint: _ShardLink(endpoint, config.connect_timeout)
+            for endpoint in self.ring.endpoints
+        }
+        self._stop = threading.Event()
+        self._conn_tasks: set = set()
+        self._open_conns: set = set()
+        self.bound_address: Optional[object] = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def install_signal_handlers(self) -> None:
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, lambda signum, frame: self._stop.set())
+
+    def shutdown(self) -> None:
+        self._stop.set()
+
+    def serve(self) -> None:
+        """Bind, route until asked to stop.  Blocks."""
+        asyncio.run(self._serve())
+
+    async def _serve(self) -> None:
+        if self.config.socket_path is not None:
+            from repro.server.daemon import claim_unix_path
+
+            claim_unix_path(self.config.socket_path)
+            server = await asyncio.start_unix_server(
+                self._serve_connection,
+                path=self.config.socket_path, limit=STREAM_LIMIT,
+            )
+            self.bound_address = self.config.socket_path
+        else:
+            server = await asyncio.start_server(
+                self._serve_connection,
+                host=self.config.host, port=self.config.port,
+                limit=STREAM_LIMIT,
+            )
+            self.bound_address = server.sockets[0].getsockname()
+        try:
+            while not self._stop.is_set():
+                await asyncio.sleep(0.05)
+        finally:
+            server.close()
+            await server.wait_closed()
+            for writer in list(self._open_conns):
+                with contextlib.suppress(Exception):
+                    writer.close()
+            tasks = [t for t in self._conn_tasks if not t.done()]
+            if tasks:
+                await asyncio.wait(tasks, timeout=5.0)
+            for link in self._links.values():
+                link.close()
+            if self.config.socket_path is not None:
+                import os
+
+                with contextlib.suppress(OSError):
+                    os.unlink(self.config.socket_path)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        self._open_conns.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                try:
+                    request = protocol.parse_line(line)
+                except protocol.ProtocolError as e:
+                    self.metrics.count_error("bad-request")
+                    writer.write(protocol.encode_message(
+                        protocol.error_response(None, "bad-request", str(e))
+                    ))
+                    await writer.drain()
+                    continue
+                if request is None:
+                    continue
+                writer.write(await self._route(line, request))
+                await writer.drain()
+                if request.get("type") == "shutdown":
+                    return
+        except (OSError, ValueError, ConnectionError):
+            pass
+        finally:
+            self._open_conns.discard(writer)
+            self._conn_tasks.discard(task)
+            with contextlib.suppress(Exception):
+                writer.close()
+
+    # -- request routing ---------------------------------------------------
+
+    async def _route(self, line: bytes, request: dict) -> bytes:
+        try:
+            protocol.validate_request(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.encode_message(
+                protocol.error_response(request, "bad-request", str(e))
+            )
+        rtype = request["type"]
+        self.metrics.count_request(rtype)
+        if rtype == "ping":
+            return protocol.encode_message(
+                {**protocol.response_header(request), "status": "ok"}
+            )
+        if rtype == "stats":
+            return protocol.encode_message(await self._stats(request))
+        if rtype == "shutdown":
+            return protocol.encode_message(await self._shutdown_fleet(request))
+        return await self._route_optimize(line, request)
+
+    async def _route_optimize(self, line: bytes, request: dict) -> bytes:
+        try:
+            _, _, key = self._memo.resolve(request)
+        except protocol.ProtocolError as e:
+            self.metrics.count_error("bad-request")
+            return protocol.encode_message(
+                protocol.error_response(request, "bad-request", str(e))
+            )
+        endpoint = self.ring.owner(key)
+        self.metrics.count_shard_route(endpoint)
+        try:
+            return await self._links[endpoint].roundtrip(line)
+        except (OSError, ConnectionError, asyncio.TimeoutError) as e:
+            self.metrics.count_error("shard-unreachable")
+            return protocol.encode_message(protocol.error_response(
+                request, "error",
+                f"shard {endpoint!r} unreachable: {e}",
+            ))
+
+    async def _stats(self, request: dict) -> dict:
+        shards: dict[str, dict] = {}
+        for endpoint, link in self._links.items():
+            probe = protocol.encode_message({"type": "stats"})
+            try:
+                reply = protocol.parse_line(await link.roundtrip(probe))
+                shards[endpoint] = reply.get("stats", {})
+            except (OSError, ConnectionError, ValueError, asyncio.TimeoutError) as e:
+                shards[endpoint] = {"error": str(e)}
+        return {
+            **protocol.response_header(request),
+            "status": "ok",
+            "stats": {
+                "router": self.metrics.snapshot(
+                    shards=list(self.ring.endpoints),
+                ),
+                "shards": shards,
+            },
+        }
+
+    async def _shutdown_fleet(self, request: dict) -> dict:
+        """Forward shutdown to every shard, then drain the router itself."""
+        results: dict[str, str] = {}
+        for endpoint, link in self._links.items():
+            probe = protocol.encode_message({"type": "shutdown"})
+            try:
+                reply = protocol.parse_line(await link.roundtrip(probe))
+                results[endpoint] = reply.get("status", "?")
+            except (OSError, ConnectionError, ValueError, asyncio.TimeoutError) as e:
+                results[endpoint] = f"error: {e}"
+        self.shutdown()
+        return {
+            **protocol.response_header(request),
+            "status": "ok",
+            "draining": True,
+            "shards": results,
+        }

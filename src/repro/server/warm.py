@@ -1,0 +1,179 @@
+"""``repro warm``: pre-populate the schedule cache over a run matrix.
+
+A fleet is only fast once its cache is warm.  :func:`warm_cache` takes the
+same workload × variant matrix the suite engine runs
+(:func:`repro.suite.matrix.build_matrix`) and pushes every cell through a
+daemon — or through the shard router, which lands each request on the
+shard that owns its key — so the first real client finds every answer
+already cached.
+
+Each spec becomes one ordinary ``optimize`` request
+(:meth:`~repro.suite.matrix.RunSpec.client_request`), so warming computes
+exactly the entries real requests will look up: same resolution, same
+options dict, same cache key.  ``jobs`` client connections drive the
+daemon concurrently; ``busy`` responses — the daemon's admission control
+doing its job while every worker is busy computing — are retried with a
+backoff instead of treated as failures.  The report says what happened per
+spec (``miss`` = newly computed, ``hit-*``/``coalesced`` = already warm,
+``error``/``busy`` = gave up), so a CI job can gate on ``report.failed``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.server.client import ServerClient
+
+__all__ = ["WarmReport", "warm_cache"]
+
+DEFAULT_BUSY_BACKOFF = 0.2
+DEFAULT_BUSY_RETRIES = 100
+
+
+@dataclass
+class WarmReport:
+    """What one warming pass did, per spec and in aggregate."""
+
+    outcomes: list[dict] = field(default_factory=list)
+    elapsed: float = 0.0
+
+    def count(self, cache_tag: str) -> int:
+        return sum(1 for o in self.outcomes if o.get("cache") == cache_tag)
+
+    @property
+    def computed(self) -> int:
+        return self.count("miss") + self.count("coalesced")
+
+    @property
+    def already_warm(self) -> int:
+        return self.count("hit-memory") + self.count("hit-disk")
+
+    @property
+    def failed(self) -> list[dict]:
+        return [o for o in self.outcomes if o.get("status") != "ok"]
+
+    def as_dict(self) -> dict:
+        return {
+            "specs": len(self.outcomes),
+            "computed": self.computed,
+            "already_warm": self.already_warm,
+            "failed": len(self.failed),
+            "elapsed": round(self.elapsed, 3),
+            "outcomes": self.outcomes,
+        }
+
+    def summary_line(self) -> str:
+        return (
+            f"warmed {len(self.outcomes)} spec(s) in {self.elapsed:.1f}s: "
+            f"{self.computed} computed, {self.already_warm} already warm, "
+            f"{len(self.failed)} failed"
+        )
+
+
+def _warm_one(
+    client: ServerClient,
+    spec_request: dict,
+    busy_backoff: float,
+    busy_retries: int,
+) -> dict:
+    """Push one spec through the daemon, riding out ``busy`` responses."""
+    delay = busy_backoff
+    for _ in range(busy_retries + 1):
+        response = client.request(spec_request)
+        if response.get("status") != "busy":
+            return response
+        time.sleep(delay)
+        delay = min(2.0, delay * 1.5)
+    return response
+
+
+def warm_cache(
+    specs: Sequence,
+    *,
+    socket_path: Optional[str] = None,
+    host: str = "127.0.0.1",
+    port: Optional[int] = None,
+    jobs: int = 4,
+    busy_backoff: float = DEFAULT_BUSY_BACKOFF,
+    busy_retries: int = DEFAULT_BUSY_RETRIES,
+    progress: Optional[Callable[[dict], None]] = None,
+) -> WarmReport:
+    """Warm every spec's cache entry through the given endpoint.
+
+    ``specs`` are :class:`~repro.suite.matrix.RunSpec` instances (or any
+    object with ``run_id`` and ``client_request()``).  ``jobs`` bounds the
+    client connections driving the daemon; keep it at or below the fleet's
+    total worker count plus backlog, or the extra clients just collect
+    ``busy`` retries.  ``progress``, when given, is called with each
+    outcome dict as it lands (CLI progress lines).
+    """
+    jobs = max(1, min(int(jobs), len(specs) or 1))
+    pending = list(enumerate(specs))
+    pending_lock = threading.Lock()
+    outcomes: dict[int, dict] = {}
+    t0 = time.perf_counter()
+
+    def drive() -> None:
+        try:
+            client = ServerClient(
+                socket_path=socket_path, host=host, port=port
+            )
+        except OSError as e:
+            with pending_lock:
+                while pending:
+                    idx, spec = pending.pop()
+                    outcomes[idx] = {
+                        "run_id": spec.run_id,
+                        "status": "error",
+                        "message": f"cannot connect: {e}",
+                    }
+            return
+        with client:
+            while True:
+                with pending_lock:
+                    if not pending:
+                        return
+                    idx, spec = pending.pop(0)
+                try:
+                    response = _warm_one(
+                        client, spec.client_request(),
+                        busy_backoff, busy_retries,
+                    )
+                    outcome = {
+                        "run_id": spec.run_id,
+                        "status": response.get("status"),
+                        "cache": response.get("cache"),
+                        "key": response.get("key"),
+                        "elapsed": response.get("elapsed"),
+                    }
+                    if response.get("status") != "ok":
+                        outcome["message"] = response.get("message")
+                        outcome["kind"] = response.get("kind")
+                except (OSError, ConnectionError, ValueError) as e:
+                    outcome = {
+                        "run_id": spec.run_id,
+                        "status": "error",
+                        "message": str(e),
+                    }
+                with pending_lock:
+                    outcomes[idx] = outcome
+                if progress is not None:
+                    progress(outcome)
+
+    threads = [
+        threading.Thread(target=drive, name=f"repro-warm-{i}", daemon=True)
+        for i in range(jobs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    report = WarmReport(
+        outcomes=[outcomes[i] for i in sorted(outcomes)],
+        elapsed=time.perf_counter() - t0,
+    )
+    return report

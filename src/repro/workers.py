@@ -41,6 +41,7 @@ __all__ = [
     "WorkerSupervisor",
     "kill_process",
     "mp_context",
+    "warm_worker_main",
     "worker_main",
 ]
 
@@ -75,6 +76,38 @@ def worker_main(fn: Callable, payload, conn) -> None:
             pass  # parent gone or pipe broken: dying reads as a crash
     finally:
         conn.close()
+
+
+def warm_worker_main(fn, conn) -> None:
+    """Persistent child body: serve jobs off the pipe until retired.
+
+    The parent sends ``(seq, payload)`` tuples and reads back
+    ``(seq, "ok" | "error", result)`` — the sequence number lets it match
+    replies to dispatches.  A ``None`` message is the retirement sentinel;
+    pipe EOF (parent died) retires the worker too.  As with
+    :func:`worker_main`, a raising job is a structured ``error`` outcome
+    and only a silent death (signal, ``os._exit``) reads as a crash.
+    """
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        if msg is None:
+            break
+        seq, payload = msg
+        try:
+            reply = (seq, "ok", fn(payload))
+        except BaseException:
+            reply = (seq, "error", traceback.format_exc())
+        try:
+            conn.send(reply)
+        except Exception:
+            break  # parent gone or pipe broken: dying reads as a crash
+    try:
+        conn.close()
+    except Exception:
+        pass
 
 
 @dataclass

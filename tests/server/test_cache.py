@@ -1,6 +1,7 @@
 """Tests for the two-tier content-addressed schedule cache."""
 
 import json
+import time
 
 import pytest
 
@@ -152,6 +153,42 @@ class TestDiskHygiene:
         assert cache.get(key) == (None, None)
         assert cache.stats.invalid_dropped == 1
         assert not path.exists()
+
+    def test_startup_sweeps_stale_tmp_files(self, tmp_path):
+        import os
+
+        root = tmp_path / "c"
+        key = cache_key(PROGRAM, OPTIONS)
+        first = ScheduleCache(root)
+        first.put(key, _payload())
+        # a writer killed between write and rename leaves these behind
+        stale = root / key[:2] / f"{key}.tmp.12345"
+        stale.write_text("{half a payl")
+        old = time.time() - 3600
+        os.utime(stale, (old, old))
+
+        reborn = ScheduleCache(root)
+        assert not stale.exists()
+        assert reborn.stats.tmp_swept == 1
+        assert reborn.snapshot()["tmp_swept"] == 1
+        # the real entry is untouched
+        assert reborn.get(key) == (_payload(), "disk")
+
+    def test_sweep_spares_fresh_tmp_files(self, tmp_path):
+        root = tmp_path / "c"
+        key = cache_key(PROGRAM, OPTIONS)
+        ScheduleCache(root).put(key, _payload())
+        # a *fresh* tmp may belong to a live writer sharing the directory
+        fresh = root / key[:2] / f"{key}.tmp.54321"
+        fresh.write_text("{in progress")
+
+        reborn = ScheduleCache(root)
+        assert fresh.exists()
+        assert reborn.stats.tmp_swept == 0
+
+    def test_sweep_noop_on_fresh_directory(self, tmp_path):
+        cache = ScheduleCache(tmp_path / "new")
+        assert cache.stats.tmp_swept == 0
 
     def test_snapshot_reports_both_tiers(self, tmp_path):
         cache = ScheduleCache(tmp_path / "c", memory_entries=5)

@@ -46,6 +46,9 @@ def _scripted(payload):
         os._exit(9)
     if name.startswith("hang"):
         time.sleep(60)
+    if name.startswith("slowerr"):
+        time.sleep(0.6)
+        raise RuntimeError(f"scripted failure for {name}")
     if name.startswith("slow"):
         time.sleep(0.6)
     if name.startswith("sched"):
@@ -61,21 +64,43 @@ def _scripted(payload):
     return json.dumps({"version": RESULT_FORMAT_VERSION, "marker": name})
 
 
-@pytest.fixture
-def daemon_factory(tmp_path):
-    """Start daemons on background threads; drain them all afterwards."""
+def _inject(daemon, fn) -> None:
+    """Swap the pool's job body (works for both pool implementations).
+
+    Must happen before ``serve()``: warm workers capture ``fn`` at fork.
+    """
+    if hasattr(daemon.pool, "_sup"):
+        daemon.pool._sup.fn = fn  # spawn-per-miss supervisor
+    else:
+        daemon.pool.fn = fn       # warm pool: captured at each fork
+
+
+@pytest.fixture(
+    params=[("async", "warm"), ("threads", "spawn")],
+    ids=["async-warm", "threads-spawn"],
+)
+def daemon_factory(request, tmp_path):
+    """Start daemons on background threads; drain them all afterwards.
+
+    Parametrized over the default serving stack (asyncio loop + warm
+    pre-forked pool) and the legacy one (thread-per-connection +
+    spawn-per-miss), so every end-to-end behavior is pinned on both.
+    """
+    loop, pool_mode = request.param
     started = []
 
     def make(scripted=True, **cfg):
         cfg.setdefault("jobs", 2)
         cfg.setdefault("drain_seconds", 2.0)
         cfg.setdefault("cache_dir", str(tmp_path / "cache"))
+        cfg.setdefault("loop", loop)
+        cfg.setdefault("pool_mode", pool_mode)
         config = DaemonConfig(
             socket_path=str(tmp_path / f"d{len(started)}.sock"), **cfg
         )
         daemon = Daemon(config)
         if scripted:
-            daemon.pool._sup.fn = _scripted
+            _inject(daemon, _scripted)
         thread = threading.Thread(target=daemon.serve, daemon=True)
         thread.start()
         deadline = time.time() + 10
@@ -230,6 +255,51 @@ class TestCachePath:
         assert server["coalesced"] == 1
         assert server["misses"] == 1
 
+    def test_coalesced_waiters_receive_worker_error(self, daemon_factory):
+        # every request joined to a failing flight gets the structured
+        # error — not a hang, not a phantom ok
+        daemon = daemon_factory()
+        responses = []
+
+        def ask():
+            with _client(daemon) as client:
+                responses.append(
+                    client.optimize(program=_program("slowerr-shared"))
+                )
+
+        threads = [threading.Thread(target=ask) for _ in range(3)]
+        threads[0].start()
+        time.sleep(0.2)  # let the first request own the flight
+        for t in threads[1:]:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(responses) == 3
+        assert {r["status"] for r in responses} == {"error"}
+        assert {r["kind"] for r in responses} == {"error"}
+        assert all("scripted failure" in r["message"] for r in responses)
+        # a failed flight leaves nothing cached: the next request recomputes
+        with _client(daemon) as client:
+            server = client.stats()["stats"]["server"]
+        assert server["ok"] == 0
+        assert server["errors"].get("error") == 1  # counted once per flight
+
+    def test_disk_hit_with_memory_tier_disabled(self, daemon_factory):
+        # memory_entries=0 forces every warm request through the disk tier
+        daemon = daemon_factory(memory_entries=0)
+        with _client(daemon) as client:
+            cold = client.optimize(program=_program("ok-nomem"))
+            warm = client.optimize(program=_program("ok-nomem"))
+            again = client.optimize(program=_program("ok-nomem"))
+            snap = client.stats()["stats"]
+        assert cold["cache"] == "miss"
+        assert warm["cache"] == "hit-disk"
+        assert again["cache"] == "hit-disk"  # never promoted to memory
+        assert warm["result"] == cold["result"]
+        assert snap["server"]["hits_disk"] == 2
+        assert snap["cache"]["memory_entries"] == 0
+        assert snap["cache"]["hits_disk"] == 2
+
 
 class TestFaultIsolation:
     def test_worker_crash_is_structured_error(self, daemon_factory):
@@ -272,6 +342,35 @@ class TestFaultIsolation:
         assert "retry" in busy["message"]
         assert slow_resp[0]["status"] == "ok"
 
+    def test_busy_under_saturated_queue_reports_depth(self, daemon_factory):
+        # one slot computing + one distinct key queued = at capacity; the
+        # third distinct key is rejected with the live queue depth
+        daemon = daemon_factory(jobs=1, backlog=1)
+        background = []
+
+        def ask(name):
+            with _client(daemon) as client:
+                background.append(client.optimize(program=_program(name)))
+
+        threads = [
+            threading.Thread(target=ask, args=(f"slow-q{i}",)) for i in range(2)
+        ]
+        threads[0].start()
+        time.sleep(0.25)  # first job occupies the slot
+        threads[1].start()
+        time.sleep(0.25)  # second job sits in the queue
+        with _client(daemon) as client:
+            busy = client.optimize(program=_program("ok-overflow"))
+            server = client.stats()["stats"]["server"]
+        for t in threads:
+            t.join(timeout=30)
+        assert busy["status"] == "busy"
+        assert busy["in_flight"] == 1
+        assert busy["queued"] == 1
+        assert server["busy"] == 1
+        # the admitted requests both complete once the slot frees up
+        assert {r["status"] for r in background} == {"ok"}
+
 
 class TestShutdown:
     def test_shutdown_request_drains_and_exits(self, daemon_factory):
@@ -283,6 +382,80 @@ class TestShutdown:
         while os.path.exists(daemon.config.socket_path):
             assert time.time() < deadline, "socket never removed on shutdown"
             time.sleep(0.05)
+
+    def test_new_work_refused_while_draining(self, daemon_factory):
+        # a connection opened before the drain can still submit, but a
+        # cache miss during the drain is refused with shutting-down
+        daemon = daemon_factory()
+        slow_resp = []
+
+        def ask_slow():
+            with _client(daemon) as client:
+                slow_resp.append(client.optimize(program=_program("slow-dr")))
+
+        bystander = _client(daemon)  # opened before the drain begins
+        try:
+            slow_thread = threading.Thread(target=ask_slow)
+            slow_thread.start()
+            time.sleep(0.2)  # the slow job holds the pool open
+            with _client(daemon) as client:
+                assert client.shutdown()["draining"] is True
+            late = bystander.optimize(program=_program("ok-too-late"))
+            slow_thread.join(timeout=30)
+        finally:
+            bystander.close()
+        assert late["status"] == "error"
+        assert late["kind"] == "shutting-down"
+        assert "draining" in late["message"]
+        # the in-flight job still completed on its way out
+        assert slow_resp[0]["status"] == "ok"
+
+
+class TestBindSafety:
+    """The socket path is probed before binding: live daemons are never
+    clobbered, stale sockets are reclaimed, foreign files are refused."""
+
+    def test_second_daemon_refuses_live_socket(self, daemon_factory):
+        from repro.server import SocketInUse
+
+        daemon = daemon_factory()
+        rival = Daemon(DaemonConfig(
+            socket_path=daemon.config.socket_path,
+            cache_dir=daemon.config.cache_dir,
+            loop=daemon.config.loop,
+            pool_mode=daemon.config.pool_mode,
+        ))
+        with pytest.raises(SocketInUse, match="already serving"):
+            rival.serve()
+        # the live daemon is untouched — its socket still answers
+        with _client(daemon) as client:
+            assert client.ping()["status"] == "ok"
+
+    def test_stale_socket_reclaimed(self, tmp_path):
+        from repro.server.daemon import claim_unix_path
+
+        path = str(tmp_path / "stale.sock")
+        dead = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        dead.bind(path)
+        dead.close()  # nothing accepting: the file is a corpse
+        assert os.path.exists(path)
+        claim_unix_path(path)
+        assert not os.path.exists(path)
+
+    def test_non_socket_file_refused(self, tmp_path):
+        from repro.server import SocketInUse
+        from repro.server.daemon import claim_unix_path
+
+        path = tmp_path / "precious.txt"
+        path.write_text("not a socket")
+        with pytest.raises(SocketInUse, match="not a socket"):
+            claim_unix_path(str(path))
+        assert path.read_text() == "not a socket"  # never unlinked
+
+    def test_missing_path_is_fine(self, tmp_path):
+        from repro.server.daemon import claim_unix_path
+
+        claim_unix_path(str(tmp_path / "never-existed.sock"))
 
 
 class TestRealPipeline:

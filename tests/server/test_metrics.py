@@ -126,3 +126,38 @@ class TestServerMetrics:
         line = m.summary_line()
         assert '"quick": 1' in line
         assert "no-legal-permutation" in line
+
+    def test_pool_counters(self):
+        m = ServerMetrics()
+        m.count_pool_spawn()
+        m.count_pool_spawn()
+        m.count_pool_dispatch(reused=False)
+        m.count_pool_dispatch(reused=True)
+        m.count_pool_dispatch(reused=True)
+        m.count_pool_recycle()
+        assert m.pool_spawns == 2
+        assert m.pool_dispatches == 3
+        assert m.pool_reuses == 2
+        assert m.pool_recycles == 1
+        snap = m.snapshot()
+        assert snap["pool"] == {
+            "spawns": 2, "dispatches": 3, "reuses": 2, "recycles": 1,
+        }
+
+    def test_pool_counters_default_zero(self):
+        # spawn-per-miss pools never touch these; the snapshot still
+        # carries the block so dashboards need no special-casing
+        snap = ServerMetrics().snapshot()
+        assert snap["pool"] == {
+            "spawns": 0, "dispatches": 0, "reuses": 0, "recycles": 0,
+        }
+
+    def test_shard_route_counters(self):
+        m = ServerMetrics()
+        m.count_shard_route("/tmp/s0.sock")
+        m.count_shard_route("/tmp/s1.sock")
+        m.count_shard_route("/tmp/s0.sock")
+        assert m.shard_routes == {"/tmp/s0.sock": 2, "/tmp/s1.sock": 1}
+        assert m.snapshot()["shard_routes"] == {
+            "/tmp/s0.sock": 2, "/tmp/s1.sock": 1,
+        }

@@ -1,4 +1,10 @@
-"""Tests for the daemon's worker pool: callbacks, backpressure, stop."""
+"""Tests for the daemon's worker pools: callbacks, backpressure, stop.
+
+Parametrized over both implementations — spawn-per-miss
+(:class:`WorkerPool`) and the pre-forked warm pool
+(:class:`WarmWorkerPool`) — which share one submission interface and one
+fault contract.
+"""
 
 import multiprocessing
 import os
@@ -7,7 +13,7 @@ import time
 
 import pytest
 
-from repro.server.pool import PoolJob, WorkerPool
+from repro.server.pool import PoolJob, WarmWorkerPool, WorkerPool
 
 pytestmark = pytest.mark.skipif(
     "fork" not in multiprocessing.get_all_start_methods(),
@@ -26,6 +32,14 @@ def _slow(payload):
 
 def _crash(payload):
     os._exit(7)
+
+
+def _crash_if_told(payload):
+    """Payload-keyed crash: the same fn serves hostile and benign jobs,
+    so it needs no mid-test swapping (warm workers capture fn at fork)."""
+    if payload.get("crash"):
+        os._exit(7)
+    return {"echo": payload}
 
 
 class _Collector:
@@ -47,12 +61,14 @@ class _Collector:
         return self.events
 
 
-@pytest.fixture
-def pool_factory():
+@pytest.fixture(params=[WorkerPool, WarmWorkerPool], ids=["spawn", "warm"])
+def pool_factory(request):
     pools = []
 
     def make(**kwargs):
-        pool = WorkerPool(**kwargs)
+        if request.param is WarmWorkerPool:
+            kwargs.setdefault("preload", None)  # tests inject their own fn
+        pool = request.param(**kwargs)
         pool.start()
         pools.append(pool)
         return pool
@@ -72,15 +88,14 @@ class TestCompletion:
         assert ev.payload == {"echo": {"n": 1}}
 
     def test_crash_settles_as_event_and_pool_survives(self, pool_factory):
-        pool = pool_factory(jobs=1, target=_crash)
+        pool = pool_factory(jobs=1, target=_crash_if_told)
         done = _Collector(1)
-        assert pool.try_submit(PoolJob("k-crash", {}, done))
+        assert pool.try_submit(PoolJob("k-crash", {"crash": True}, done))
         (ev,) = done.wait()
         assert ev.kind == "crash"
         assert "without reporting" in ev.payload
 
         # the pool keeps dispatching after a worker death
-        pool._sup.fn = _echo
         done2 = _Collector(1)
         assert pool.try_submit(PoolJob("k-after", {"n": 2}, done2))
         assert done2.wait()[0].kind == "ok"
@@ -152,3 +167,89 @@ class TestShutdown:
         events = done.wait(timeout=10.0)
         assert all(ev.kind == "error" for ev in events)
         assert {ev.key.key for ev in events} == {"k0", "k1", "k2"}
+
+
+class TestWarmPool:
+    """Behavior specific to the pre-forked warm pool: persistence across
+    requests, recycling, and the reuse accounting the metrics expose."""
+
+    @pytest.fixture
+    def warm_factory(self):
+        pools = []
+
+        def make(**kwargs):
+            kwargs.setdefault("preload", None)
+            pool = WarmWorkerPool(**kwargs)
+            pool.start()
+            pools.append(pool)
+            return pool
+
+        yield make
+        for pool in pools:
+            pool.stop()
+
+    def test_same_process_serves_consecutive_jobs(self, warm_factory):
+        pool = warm_factory(jobs=1, target=_echo)
+        done = _Collector(3)
+        for i in range(3):
+            assert pool.try_submit(PoolJob(f"k{i}", {"n": i}, done))
+        events = done.wait()
+        pids = {ev.pid for ev in events}
+        assert len(pids) == 1, f"expected one persistent worker, got {pids}"
+        assert all(ev.kind == "ok" for ev in events)
+
+    def test_metrics_count_spawns_dispatches_reuses(self, warm_factory):
+        from repro.server.metrics import ServerMetrics
+
+        metrics = ServerMetrics()
+        pool = warm_factory(jobs=1, target=_echo, metrics=metrics)
+        done = _Collector(3)
+        for i in range(3):
+            assert pool.try_submit(PoolJob(f"k{i}", {"n": i}, done))
+        done.wait()
+        snap = metrics.snapshot()
+        assert snap["pool"]["spawns"] == 1
+        assert snap["pool"]["dispatches"] == 3
+        # the first job went to a never-used worker; the next two reused it
+        assert snap["pool"]["reuses"] == 2
+        assert snap["pool"]["recycles"] == 0
+
+    def test_worker_recycled_at_limit(self, warm_factory):
+        from repro.server.metrics import ServerMetrics
+
+        metrics = ServerMetrics()
+        pool = warm_factory(jobs=1, target=_echo, recycle=2, metrics=metrics)
+        done = _Collector(4)
+        for i in range(4):
+            assert pool.try_submit(PoolJob(f"k{i}", {"n": i}, done))
+            time.sleep(0.05)  # serialize so recycling lands between jobs
+        events = done.wait()
+        assert all(ev.kind == "ok" for ev in events)
+        # two jobs per worker: the first worker retired after k1, its
+        # replacement served k2/k3
+        assert len({ev.pid for ev in events}) == 2
+        snap = metrics.snapshot()
+        assert snap["pool"]["recycles"] >= 1
+        assert snap["pool"]["spawns"] >= 2
+
+    def test_crash_replacement_is_a_fresh_process(self, warm_factory):
+        pool = warm_factory(jobs=1, target=_crash_if_told)
+        done = _Collector(2)
+        assert pool.try_submit(PoolJob("k-crash", {"crash": True}, done))
+        assert pool.try_submit(PoolJob("k-ok", {"n": 1}, done))
+        events = done.wait()
+        kinds = {ev.key.key: ev.kind for ev in events}
+        assert kinds == {"k-crash": "crash", "k-ok": "ok"}
+        pids = {ev.key.key: ev.pid for ev in events}
+        assert pids["k-crash"] != pids["k-ok"]
+
+    def test_jobs_spread_across_workers(self, warm_factory):
+        pool = warm_factory(jobs=2, target=_slow)
+        done = _Collector(2)
+        assert pool.try_submit(PoolJob("k1", {"seconds": 0.4}, done))
+        assert pool.try_submit(PoolJob("k2", {"seconds": 0.4}, done))
+        events = done.wait()
+        assert len({ev.pid for ev in events}) == 2
+        assert all(ev.kind == "ok" for ev in events)
+        # both finished in one 0.4s window, not two serialized ones
+        assert all(ev.elapsed < 2.0 for ev in events)

@@ -9,7 +9,10 @@ from repro import __version__
 from repro.server.protocol import (
     PROTOCOL_VERSION,
     ProtocolError,
+    encode_message,
+    encode_response_with_result,
     error_response,
+    parse_line,
     read_message,
     response_header,
     validate_request,
@@ -50,6 +53,56 @@ class TestFraming:
     def test_non_object_raises_protocol_error(self):
         with pytest.raises(ProtocolError, match="JSON object"):
             read_message(io.BytesIO(b"[1, 2]\n"))
+
+
+class TestLineHelpers:
+    """The async loop's framing primitives (no file objects involved)."""
+
+    def test_encode_message_is_one_line(self):
+        data = encode_message({"type": "ping", "id": 7})
+        assert data.endswith(b"\n")
+        assert data.count(b"\n") == 1
+        assert json.loads(data) == {"type": "ping", "id": 7}
+
+    def test_parse_line_roundtrips_encode(self):
+        obj = {"type": "optimize", "workload": "w", "options": {"tile": True}}
+        assert parse_line(encode_message(obj)) == obj
+
+    def test_parse_line_blank_is_none(self):
+        assert parse_line(b"\n") is None
+        assert parse_line(b"   \n") is None
+
+    def test_parse_line_garbage_raises(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_line(b"{nope\n")
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_line(b"[1]\n")
+
+    def test_splice_matches_full_encode_byte_for_byte(self):
+        # the warm path splices cached to_json() text into the response
+        # line instead of parsing + re-dumping; the bytes must be exactly
+        # what the slow path would produce
+        result_text = json.dumps(
+            {"version": 1, "schedule": {"rows": [[0, 1], [1, 0]]},
+             "unicode": "héhé", "nested": {"deep": [1.5, None, True]}}
+        )
+        head = {
+            **response_header({"id": "x"}),
+            "status": "ok", "cache": "hit-memory", "key": "ab" * 32,
+            "elapsed": 0.000123,
+        }
+        spliced = encode_response_with_result(head, result_text)
+        full = encode_message({**head, "result": json.loads(result_text)})
+        assert spliced == full
+
+    def test_splice_result_parses_back_verbatim(self):
+        result_text = json.dumps({"version": 1, "marker": "m"})
+        line = encode_response_with_result(
+            {**response_header(), "status": "ok"}, result_text
+        )
+        parsed = parse_line(line)
+        assert parsed["status"] == "ok"
+        assert json.dumps(parsed["result"]) == result_text
 
 
 class TestValidation:

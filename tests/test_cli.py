@@ -304,6 +304,57 @@ class TestCLIServeParsing:
         with pytest.raises(SystemExit, match="source file or --workload"):
             main(["client", "opt", "--socket", str(tmp_path / "x.sock")])
 
+    def test_serve_loop_and_pool_flags(self):
+        args = build_parser().parse_args(["serve", "--socket", "/tmp/x.sock"])
+        assert args.loop == "async" and args.pool == "warm"
+        assert args.recycle is None
+        args = build_parser().parse_args(
+            ["serve", "--socket", "/tmp/x.sock", "--loop", "threads",
+             "--pool", "spawn", "--recycle", "8"]
+        )
+        assert args.loop == "threads" and args.pool == "spawn"
+        assert args.recycle == 8
+
+    def test_route_parser(self):
+        args = build_parser().parse_args(
+            ["route", "--socket", "/tmp/r.sock",
+             "--shard", "/tmp/s0.sock", "--shard", "/tmp/s1.sock"]
+        )
+        assert args.command == "route"
+        assert args.shard == ["/tmp/s0.sock", "/tmp/s1.sock"]
+
+    def test_route_requires_shards(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["route", "--socket", "/tmp/r.sock"])
+
+    def test_route_needs_endpoint(self):
+        with pytest.raises(SystemExit, match="route needs"):
+            main(["route", "--shard", "/tmp/s0.sock"])
+
+    def test_warm_parser(self):
+        args = build_parser().parse_args(
+            ["warm", "--socket", "/tmp/x.sock", "--category", "motivation",
+             "--variants", "plutoplus,quick", "--jobs", "8",
+             "--filter", "fig1*"]
+        )
+        assert args.command == "warm"
+        assert args.category == "motivation"
+        assert args.variants == "plutoplus,quick"
+        assert args.jobs == 8 and args.filter == ["fig1*"]
+
+    def test_warm_needs_endpoint(self):
+        with pytest.raises(SystemExit, match="warm needs"):
+            main(["warm"])
+
+    def test_serve_refuses_occupied_socket(self, tmp_path):
+        # the path exists and is not a socket: serve must not unlink it
+        precious = tmp_path / "not-a-socket"
+        precious.write_text("data")
+        with pytest.raises(SystemExit, match="not a socket"):
+            main(["serve", "--socket", str(precious), "--jobs", "1",
+                  "--cache-dir", ""])
+        assert precious.read_text() == "data"
+
 
 class TestCLIServeEndToEnd:
     """One real daemon subprocess driven through the client commands."""
