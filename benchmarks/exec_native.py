@@ -1,0 +1,190 @@
+"""Native C backend vs the Python reference executor.
+
+For each benchmark workload the full pipeline runs once (plutoplus paper
+flags), then the optimized schedule executes on both backends at sizes
+large enough to time honestly but small enough for CI:
+
+1. **bit-compat** — identical inputs through both backends must agree
+   bitwise on every array (the ``-ffp-contract=off`` contract).  Any
+   mismatch fails the gate; speed means nothing if the answer changed.
+2. **speed** — the Python kernel is timed once (it is the slow side); the
+   native kernel is warmed (compile + load excluded) and timed as the
+   best of ``REPS`` in-place runs, marshalling included.
+
+Gate: geometric-mean speedup >= ``SPEEDUP_GATE``x (10x; measured values
+are orders of magnitude higher — an interpreter-loop vs ``cc -O3``).
+
+Graceful degradation: without a C compiler the bench writes a skip record
+and exits 0 — the gate is only meaningful where the backend can exist.
+
+``REPRO_BENCH_SCALE=quick`` (CI) runs a 4-workload subset; ``full`` (the
+default) covers 10 including the periodic ISS stencils.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/exec_native.py [-o BENCH_exec.json]
+
+Exits non-zero on any gate failure (mismatch or sub-gate speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+
+from repro.exec import ExecStats, ExecutionOptions, find_compiler
+from repro.pipeline import optimize
+from repro.runtime.arrays import random_arrays
+from repro.workloads import get_workload
+
+SPEEDUP_GATE = 10.0
+
+#: native timing repetitions (best-of; the Python side runs once)
+REPS = 3
+
+#: benchmark sizes: big enough that per-run timing noise is far below the
+#: gate margin, small enough that the *Python* pass stays CI-friendly
+_QUICK = {
+    "fig1-skew": {"N": 128},
+    "gemm": {"NI": 48, "NJ": 48, "NK": 48},
+    "jacobi-2d-imper": {"TSTEPS": 6, "N": 48},
+    "heat-1dp": {"N": 512, "T": 64},
+}
+
+_FULL = {
+    **_QUICK,
+    "mvt": {"N": 256},
+    "lu": {"N": 64},
+    "seidel-2d": {"TSTEPS": 4, "N": 48},
+    "fdtd-2d": {"TMAX": 6, "NX": 48, "NY": 48},
+    "floyd-warshall": {"N": 48},
+    "heat-2dp": {"N": 48, "T": 8},
+}
+
+
+def _workloads() -> dict[str, dict[str, int]]:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    return _QUICK if scale == "quick" else _FULL
+
+
+def _bench_one(name: str, params: dict, cache_dir: str) -> dict:
+    w = get_workload(name)
+    result = optimize(w.program(), w.pipeline_options("plutoplus"))
+    base = random_arrays(result.program, params, seed=0)
+
+    # Python reference: one timed in-place run
+    py_arrays = {k: v.copy() for k, v in base.items()}
+    t0 = time.perf_counter()
+    result.run(py_arrays, params)
+    python_seconds = time.perf_counter() - t0
+
+    opts = ExecutionOptions(backend="c", cache_dir=cache_dir)
+    warm = ExecStats()
+    c_arrays = {k: v.copy() for k, v in base.items()}
+    result.run(c_arrays, params, exec_options=opts, stats=warm)
+    if warm.backend != "c":
+        return {
+            "workload": name, "params": params, "status": "fallback",
+            "fallback_reason": warm.fallback_reason,
+        }
+
+    bitwise = all(
+        (py_arrays[k] == c_arrays[k]).all() for k in sorted(base)
+    )
+
+    c_seconds = math.inf
+    for _ in range(REPS):
+        arrays = {k: v.copy() for k, v in base.items()}
+        t0 = time.perf_counter()
+        result.run(arrays, params, exec_options=opts)
+        c_seconds = min(c_seconds, time.perf_counter() - t0)
+
+    return {
+        "workload": name,
+        "params": params,
+        "status": "ok",
+        "bitwise_equal": bitwise,
+        "python_seconds": round(python_seconds, 6),
+        "c_seconds": round(c_seconds, 6),
+        "speedup": round(python_seconds / c_seconds, 2),
+        "compile_seconds": round(warm.compile_seconds, 6),
+        "artifact_cache": warm.artifact_cache,
+        "omp": warm.omp,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_exec.json")
+    args = ap.parse_args(argv)
+
+    compiler = find_compiler()
+    if compiler is None:
+        report = {
+            "bench": "exec_native",
+            "status": "skipped",
+            "reason": "no C compiler found (tried $REPRO_CC, cc, gcc, clang)",
+        }
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"exec_native: SKIP ({report['reason']})")
+        return 0
+
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="repro-exec-bench-") as cache:
+        cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE", cache)
+        for name, params in _workloads().items():
+            rec = _bench_one(name, params, cache_dir)
+            runs.append(rec)
+            if rec["status"] == "ok":
+                print(
+                    f"  {name:<20} python {rec['python_seconds']:8.4f}s  "
+                    f"c {rec['c_seconds']:8.4f}s  "
+                    f"{rec['speedup']:9.1f}x  "
+                    f"bitwise={'yes' if rec['bitwise_equal'] else 'NO'}"
+                )
+            else:
+                print(f"  {name:<20} FELL BACK: {rec['fallback_reason']}")
+
+    ok_runs = [r for r in runs if r["status"] == "ok"]
+    mismatches = [r["workload"] for r in ok_runs if not r["bitwise_equal"]]
+    fallbacks = [r["workload"] for r in runs if r["status"] == "fallback"]
+    geomean = (
+        math.exp(sum(math.log(r["speedup"]) for r in ok_runs) / len(ok_runs))
+        if ok_runs else 0.0
+    )
+    gate_ok = bool(ok_runs) and not mismatches and not fallbacks and (
+        geomean >= SPEEDUP_GATE
+    )
+
+    report = {
+        "bench": "exec_native",
+        "status": "ok" if gate_ok else "gate-failed",
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "full"),
+        "compiler": compiler.version,
+        "speedup_gate": SPEEDUP_GATE,
+        "geomean_speedup": round(geomean, 2),
+        "mismatches": mismatches,
+        "fallbacks": fallbacks,
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    verdict = "PASS" if gate_ok else "FAIL"
+    print(
+        f"exec_native: {verdict} — geomean speedup {geomean:.1f}x "
+        f"(gate {SPEEDUP_GATE}x) over {len(ok_runs)} workload(s)"
+        + (f"; mismatches: {mismatches}" if mismatches else "")
+        + (f"; fallbacks: {fallbacks}" if fallbacks else "")
+    )
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -29,6 +29,8 @@ internal; deep imports keep working but carry no stability promise
 from importlib import metadata as _metadata
 
 from repro.api import (
+    ExecStats,
+    ExecutionOptions,
     OptimizationResult,
     PipelineOptions,
     TimingBreakdown,
@@ -45,9 +47,11 @@ try:
     # the daemon's response header, and `pip show repro` can never disagree.
     __version__ = _metadata.version("repro")
 except _metadata.PackageNotFoundError:  # running from a source checkout
-    __version__ = "1.3.0"
+    __version__ = "1.4.0"
 
 __all__ = [
+    "ExecStats",
+    "ExecutionOptions",
     "OptimizationResult",
     "PipelineOptions",
     "ProgramBuilder",

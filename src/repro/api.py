@@ -20,6 +20,17 @@ the default), the quick fusion + dimension-matching heuristic
 
     result = api.optimize("gemm", api.PipelineOptions(scheduler="auto"))
     result.scheduler_stats.scheduler_path   # "quick" | "fallback" | "exact"
+
+Execution is backend-neutral: ``result.run(arrays, params)`` dispatches on
+the kw-only ``backend`` knob (``"python"``, the default and historical
+behavior; ``"c"`` compiles the emitted C with the system compiler and runs
+at native speed; ``"auto"`` picks the fastest available), returning an
+:class:`ExecStats` describing what actually ran::
+
+    result = api.optimize("gemm", api.PipelineOptions(backend="c"))
+    stats = result.run(arrays, params)
+    stats.backend            # "c", or "python" after a graceful fallback
+    stats.fallback_reason    # why, when it fell back
 """
 
 from __future__ import annotations
@@ -27,6 +38,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.core.verify import VerificationReport, verify_schedule
+from repro.exec import ExecStats, ExecutionOptions
 from repro.frontend.ir import Program
 from repro.pipeline import (
     OptimizationResult,
@@ -36,6 +48,8 @@ from repro.pipeline import (
 )
 
 __all__ = [
+    "ExecStats",
+    "ExecutionOptions",
     "OptimizationResult",
     "PipelineOptions",
     "TimingBreakdown",

@@ -92,7 +92,18 @@ def build_parser() -> argparse.ArgumentParser:
                           "or auto (quick with exact fallback)")
     opt.add_argument("--stats", action="store_true",
                      help="print solver counters (pivots, B&B nodes, "
-                          "warm-start hits, ...) to stderr")
+                          "warm-start hits, ...) to stderr; with a native "
+                          "--backend also the execution stats")
+    opt.add_argument("--backend", choices=("python", "c", "auto"),
+                     default="python",
+                     help="execution backend for the generated kernel: "
+                          "python (default), c (compile the emitted C "
+                          "natively), or auto (fastest available); c/auto "
+                          "compile eagerly and fall back to python when no "
+                          "compiler is present")
+    opt.add_argument("--threads", type=int, default=None, metavar="N",
+                     help="OpenMP threads for native execution "
+                          "(default: the OpenMP runtime's choice)")
     opt.add_argument("--emit", choices=("c", "py", "schedule", "schedule-json"),
                      default="c")
     opt.add_argument("-o", "--output", help="write emitted code to a file")
@@ -110,6 +121,12 @@ def build_parser() -> argparse.ArgumentParser:
                      help="verify this exported schedule (JSON from "
                           "`opt --emit schedule-json`) instead of running "
                           "the scheduler")
+    ver.add_argument("--backend", choices=("python", "c", "auto"),
+                     default="python",
+                     help="additionally execute the schedule on this "
+                          "backend and require bit-compatible agreement "
+                          "with the Python kernel (skipped with a note "
+                          "when no compiler is available)")
 
     deps = sub.add_parser("deps", help="print dependence analysis")
     add_input_args(deps)
@@ -137,6 +154,12 @@ def build_parser() -> argparse.ArgumentParser:
     suite.add_argument("--variants", default="plutoplus",
                        help="comma-separated option variants "
                             "(plutoplus, pluto, notile, l2tile, quick, auto)")
+    suite.add_argument("--backend", choices=("python", "c", "auto"),
+                       default="python",
+                       help="execution backend recorded on every spec; "
+                            "c/auto additionally compiles and smoke-runs "
+                            "each kernel, recording exec_stats in the "
+                            "manifest")
     suite.add_argument("--out", default="runs", metavar="DIR",
                        help="manifest root directory (default: runs/)")
     suite.add_argument("--resume", metavar="DIR",
@@ -245,6 +268,11 @@ def build_parser() -> argparse.ArgumentParser:
     copt.add_argument("--scheduler", choices=("auto", "exact", "quick"),
                       default=None,
                       help="hyperplane search (daemon default: exact)")
+    copt.add_argument("--backend", choices=("python", "c", "auto"),
+                      default=None,
+                      help="execution backend recorded in the resolved "
+                           "options (daemon default: python; non-default "
+                           "backends get their own cache keys)")
     copt.add_argument("--emit", choices=("schedule-json", "json", "summary"),
                       default="schedule-json",
                       help="what to print: the schedule export (default), "
@@ -314,6 +342,7 @@ def _pipeline_options(args) -> PipelineOptions:
         intra_tile=getattr(args, "intra_tile", False),
         deps_cache=not getattr(args, "no_deps_cache", False),
         scheduler=getattr(args, "scheduler", "exact"),
+        backend=getattr(args, "backend", "python") or "python",
     )
 
 
@@ -340,6 +369,24 @@ def _cmd_opt(args) -> int:
             print("# dependence stats:", file=sys.stderr)
             print(format_dep_stats(result.dep_stats.as_dict(), indent="#   "),
                   file=sys.stderr)
+    if args.backend != "python":
+        from repro.exec import ExecutionOptions
+
+        _, cstats, _ = result._compiled(
+            ExecutionOptions(backend=args.backend, threads=args.threads)
+        )
+        if cstats.fallback_reason:
+            print(f"# exec backend: python "
+                  f"(fallback: {cstats.fallback_reason})", file=sys.stderr)
+        else:
+            key = cstats.artifact_key or ""
+            print(f"# exec backend: c ({cstats.artifact_cache}, "
+                  f"compile {cstats.compile_seconds:.2f}s, "
+                  f"artifact {key[:16]}…)", file=sys.stderr)
+        if args.stats:
+            print("# exec stats:", file=sys.stderr)
+            for k, v in cstats.as_dict().items():
+                print(f"#   {k}: {v}", file=sys.stderr)
     if args.emit == "schedule":
         out = result.schedule.pretty() + "\n"
     elif args.emit == "schedule-json":
@@ -369,6 +416,7 @@ def _cmd_verify(args) -> int:
     from repro.deps import DependenceGraph, compute_dependences
 
     program = _load_program(args)
+    result = None
     if args.schedule:
         import json
 
@@ -386,7 +434,52 @@ def _cmd_verify(args) -> int:
     ddg = DependenceGraph(program, compute_dependences(program))
     report = verify_schedule(schedule, ddg)
     print(report)
-    return 0 if report.legal else 1
+    rc = 0 if report.legal else 1
+    if args.backend != "python" and report.legal:
+        rc = max(rc, _verify_backend(args, result, program))
+    return rc
+
+
+def _verify_backend(args, result, program) -> int:
+    """Execution bit-compat leg of ``repro verify --backend c|auto``."""
+    from repro.exec import ExecutionOptions
+    from repro.runtime.validate import backend_compat_check
+
+    if result is None:
+        print("# backend check skipped: --schedule input carries no tiled "
+              "schedule to execute", file=sys.stderr)
+        return 0
+    params = _exec_params(args, program)
+    check = backend_compat_check(
+        result.tiled, params, ExecutionOptions(backend=args.backend)
+    )
+    if not check.checked:
+        print(f"backend {args.backend}: skipped "
+              f"({check.fallback_reason})")
+        return 0
+    if check.ok:
+        print(f"backend {check.backend}: bit-compatible with python at "
+              f"{params} (max {check.max_ulps} ulps)")
+        return 0
+    print(f"backend {check.backend}: MISMATCH on "
+          f"{check.mismatched_arrays} at {params} "
+          f"(max {check.max_ulps} ulps, abs diff {check.max_abs_diff:.3e})")
+    return 1
+
+
+def _exec_params(args, program) -> dict:
+    """Concrete parameter values for execution checks: the workload's
+    small validation sizes when available, else a small default honoring
+    ``--param-min``."""
+    name = getattr(args, "workload", None) or getattr(args, "source", None)
+    if name:
+        from repro.workloads import WORKLOADS
+
+        w = WORKLOADS.get(name)
+        if w is not None and w.small_sizes:
+            return dict(w.small_sizes)
+    floor = getattr(args, "param_min", 2)
+    return {p: max(floor, 8) for p in program.params}
 
 
 def _pipeline_options_noemit(args) -> PipelineOptions:
@@ -438,6 +531,7 @@ def _cmd_suite(args) -> int:
             category=args.category,
             variants=[v.strip() for v in args.variants.split(",") if v.strip()],
             filters=args.filter,
+            backend=args.backend,
         )
         if not specs:
             raise SystemExit(
@@ -615,6 +709,8 @@ def _client_overrides(args) -> dict:
         overrides["ilp_backend"] = args.ilp_backend
     if args.scheduler is not None:
         overrides["scheduler"] = args.scheduler
+    if getattr(args, "backend", None) is not None:
+        overrides["backend"] = args.backend
     return overrides
 
 

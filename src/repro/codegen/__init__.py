@@ -1,17 +1,45 @@
 """Code generation from (tiled) schedules — the CLooG-role substrate."""
 
-from repro.codegen.c_emit import generate_c
+from repro.codegen.c_emit import (
+    CEmitError,
+    CKernelSource,
+    generate_c,
+    generate_c_kernel,
+)
 from repro.codegen.original import original_schedule
-from repro.codegen.python_emit import GeneratedCode, generate_python
+from repro.codegen.python_emit import (
+    GeneratedCode,
+    _new_generated_code,
+    generate_python,
+)
 from repro.codegen.scan import Bound, ScanSystem, build_scan_systems, z_name
+from repro.core.tiling import TiledSchedule
 
 __all__ = [
     "Bound",
+    "CEmitError",
+    "CKernelSource",
     "GeneratedCode",
     "ScanSystem",
     "build_scan_systems",
     "generate_c",
+    "generate_c_kernel",
     "generate_python",
+    "make_generated_code",
     "original_schedule",
     "z_name",
 ]
+
+
+def make_generated_code(
+    python_source: str, tsched: TiledSchedule, traced: bool = False
+) -> GeneratedCode:
+    """The one sanctioned constructor for :class:`GeneratedCode`.
+
+    Deserialization and tooling must come through here rather than calling
+    ``GeneratedCode(...)`` directly (which now emits a
+    ``DeprecationWarning``): this factory is the single place construction
+    invariants for the Python-backend kernel live, mirroring how native
+    kernels are only built by :func:`repro.exec.build_c_kernel`.
+    """
+    return _new_generated_code(python_source, tsched, traced=traced)

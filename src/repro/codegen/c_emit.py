@@ -1,47 +1,339 @@
-"""Emit C-like source (with OpenMP pragmas) from a tiled schedule.
+"""Emit C source (with OpenMP pragmas) from a tiled schedule.
 
-The Python emitter (:mod:`repro.codegen.python_emit`) produces the kernel
-the validation runtime executes; this emitter renders the same scanning
-structure as the C a Pluto-style source-to-source tool would hand to icc —
-``#pragma omp parallel for`` on parallel dimensions, ``ceild/floord`` bound
-macros, and the statements' original C bodies.  It exists for inspection,
-examples, and documentation; it is not compiled by the test suite.
+Two modes share one scanning emitter:
+
+* **display** (:func:`generate_c`) renders the same scanning structure as
+  the C a Pluto-style source-to-source tool would hand to icc — loop nests
+  with ``#pragma omp parallel for`` on parallel dimensions and the
+  statements' original C bodies.  It is what ``repro opt --emit c`` prints.
+* **kernel** (:func:`generate_c_kernel`) renders a *complete, compilable
+  translation unit*: a ``repro_kernel(double **arrays, const int64_t
+  *shapes, const int64_t *params)`` entry point that the native execution
+  backend (:mod:`repro.exec`) compiles with the system compiler and calls
+  through ctypes.  Arrays are marshalled as flat ``double`` buffers in
+  sorted-name order (the same order the Python emitter binds them) and
+  rebound to C99 variable-length-array pointers.  Statement bodies are
+  translated from their *Python* form (the semantics the Python emitter
+  actually executes — including periodic ``% N`` wraparound the display
+  text elides) with Python's floor-mod/floor-div mapped onto helpers.
+
+The bound helper macros are ``#ifndef``-guarded and the ``min``/``max``
+helpers carry a ``repro_`` prefix: the bare names collide with
+``<sys/param.h>``/libc definitions under real compilers, which mattered the
+moment this emitter's output started being compiled rather than just read.
 """
 
 from __future__ import annotations
 
-from repro.codegen.emit_common import merge_bounds, render_lower, render_upper
+import ast
+from dataclasses import dataclass
+
+from repro.codegen.emit_common import (
+    merge_bounds,
+    render_expr,
+    render_lower,
+    render_upper,
+)
 from repro.codegen.scan import build_scan_systems, z_name
 from repro.core.tiling import TiledSchedule
-from repro.frontend.ir import Statement
+from repro.frontend.ir import Program, Statement
 
-__all__ = ["generate_c"]
+__all__ = [
+    "CKernelSource",
+    "KERNEL_ENTRY",
+    "CEmitError",
+    "generate_c",
+    "generate_c_kernel",
+]
+
+#: the exported entry point of every compiled kernel
+KERNEL_ENTRY = "repro_kernel"
 
 _HEADER = """\
+#ifndef ceild
 #define ceild(n, d) (((n) > 0) ? (1 + ((n) - 1) / (d)) : -((-(n)) / (d)))
+#endif
+#ifndef floord
 #define floord(n, d) (((n) > 0) ? (n) / (d) : -((-(n) + (d) - 1) / (d)))
-#define max(a, b) ((a) > (b) ? (a) : (b))
-#define min(a, b) ((a) < (b) ? (a) : (b))
+#endif
+#ifndef repro_max
+#define repro_max(a, b) ((a) > (b) ? (a) : (b))
+#endif
+#ifndef repro_min
+#define repro_min(a, b) ((a) < (b) ? (a) : (b))
+#endif
+#ifndef repro_mod
+#define repro_mod(a, b) (((a) % (b) + (b)) % (b))
+#endif
+"""
+
+_KERNEL_EPILOGUE = """\
+
+#ifdef _OPENMP
+#include <omp.h>
+void repro_set_threads(int n) { if (n > 0) omp_set_num_threads(n); }
+int repro_omp_enabled(void) { return 1; }
+#else
+void repro_set_threads(int n) { (void)n; }
+int repro_omp_enabled(void) { return 0; }
+#endif
 """
 
 
+class CEmitError(RuntimeError):
+    """The program cannot be rendered as a compilable C kernel."""
+
+
+def array_ranks(program: Program) -> dict[str, int]:
+    """Per-array rank: the maximum access arity, matching
+    :func:`repro.runtime.arrays.infer_shapes`'s padding rule."""
+    ranks: dict[str, int] = {}
+    for stmt in program.statements:
+        for acc in stmt.reads + stmt.writes:
+            ranks[acc.array] = max(ranks.get(acc.array, 0), acc.arity)
+    return ranks
+
+
+@dataclass(frozen=True)
+class CKernelSource:
+    """A compilable kernel translation unit plus its marshalling contract.
+
+    The entry point's ABI::
+
+        void repro_kernel(double **arrays,
+                          const int64_t *shapes,
+                          const int64_t *params);
+
+    ``arrays`` holds one base pointer per array in :attr:`array_order`
+    (sorted name order — exactly how the Python emitter binds ``arrays``);
+    ``shapes`` is the per-array extents flattened in the same order (each
+    array contributing :attr:`array_ranks```[name]`` entries); ``params``
+    follows :attr:`param_order`.  All three use 64-bit integers.
+    """
+
+    source: str
+    name: str
+    entry: str
+    array_order: tuple[str, ...]
+    array_ranks: dict[str, int]
+    param_order: tuple[str, ...]
+
+
+#: body-level calls → the libm/helper names the kernel compiles against.
+#: ``abs`` maps to ``fabs`` (data are always doubles; C's integer ``abs``
+#: would truncate); ``min``/``max``/``fmin``/``fmax`` go through the
+#: prefixed macros, whose compare-and-select matches Python's builtins on
+#: doubles bit-for-bit.
+_C_FUNCS = {
+    "min": "repro_min", "max": "repro_max",
+    "fmin": "repro_min", "fmax": "repro_max",
+    "abs": "fabs", "fabs": "fabs",
+    "sqrt": "sqrt", "exp": "exp", "log": "log",
+    "sin": "sin", "cos": "cos", "tan": "tan",
+    "pow": "pow", "floor": "floor", "ceil": "ceil",
+}
+
+_C_BINOPS = {ast.Add: "+", ast.Sub: "-", ast.Mult: "*"}
+_C_CMPOPS = {
+    ast.Eq: "==", ast.NotEq: "!=", ast.Lt: "<",
+    ast.LtE: "<=", ast.Gt: ">", ast.GtE: ">=",
+}
+
+
+def _expr_c(node: ast.expr, ranks: dict[str, int]) -> str:
+    """One Python body expression as C, preserving the evaluation tree.
+
+    Every binary operation is parenthesized, so C re-association can never
+    change the floating-point rounding sequence the Python kernel performs.
+    The semantic gaps between the languages are papered over explicitly:
+    Python's floor-mod becomes ``repro_mod`` (C's ``%`` truncates toward
+    zero), ``//`` becomes ``floord``, and true division casts through
+    ``double`` (Python ``/`` never truncates).
+    """
+    if isinstance(node, ast.BinOp):
+        left = _expr_c(node.left, ranks)
+        right = _expr_c(node.right, ranks)
+        op = type(node.op)
+        if op is ast.Mod:
+            return f"repro_mod({left}, {right})"
+        if op is ast.FloorDiv:
+            return f"floord({left}, {right})"
+        if op is ast.Pow:
+            return f"pow({left}, {right})"
+        if op is ast.Div:
+            return f"((double)({left}) / (double)({right}))"
+        if op in _C_BINOPS:
+            return f"({left} {_C_BINOPS[op]} {right})"
+        raise CEmitError(f"cannot translate operator {op.__name__} to C")
+    if isinstance(node, ast.UnaryOp):
+        inner = _expr_c(node.operand, ranks)
+        if isinstance(node.op, ast.USub):
+            return f"(-{inner})"
+        if isinstance(node.op, ast.UAdd):
+            return inner
+        raise CEmitError(
+            f"cannot translate operator {type(node.op).__name__} to C"
+        )
+    if isinstance(node, ast.Subscript):
+        if not isinstance(node.value, ast.Name):
+            raise CEmitError("only direct array subscripts translate to C")
+        name = node.value.id
+        idx = node.slice
+        elts = list(idx.elts) if isinstance(idx, ast.Tuple) else [idx]
+        if not elts:  # x[()] — the Python spelling of a scalar
+            return f"{name}[0]"
+        return name + "".join(f"[{_expr_c(e, ranks)}]" for e in elts)
+    if isinstance(node, ast.Name):
+        if ranks.get(node.id) == 0:
+            # scalar data marshals as a one-element buffer
+            return f"{node.id}[0]"
+        return node.id
+    if isinstance(node, ast.Constant):
+        v = node.value
+        if isinstance(v, bool):
+            return "1" if v else "0"
+        if isinstance(v, (int, float)):
+            # repr() is the shortest round-trip form; strtod parses it back
+            # to the identical double, which bit-compatibility depends on
+            return repr(v)
+        raise CEmitError(f"cannot translate constant {v!r} to C")
+    if isinstance(node, ast.Call):
+        if not isinstance(node.func, ast.Name) or node.keywords:
+            raise CEmitError("only simple function calls translate to C")
+        fn = _C_FUNCS.get(node.func.id)
+        if fn is None:
+            raise CEmitError(f"unknown function {node.func.id!r} in C body")
+        args = ", ".join(_expr_c(a, ranks) for a in node.args)
+        return f"{fn}({args})"
+    if isinstance(node, ast.IfExp):
+        return (
+            f"({_expr_c(node.test, ranks)} ? "
+            f"{_expr_c(node.body, ranks)} : {_expr_c(node.orelse, ranks)})"
+        )
+    if isinstance(node, ast.Compare):
+        parts = []
+        left = _expr_c(node.left, ranks)
+        for op, comp in zip(node.ops, node.comparators):
+            cop = _C_CMPOPS.get(type(op))
+            if cop is None:
+                raise CEmitError(
+                    f"cannot translate comparison {type(op).__name__} to C"
+                )
+            right = _expr_c(comp, ranks)
+            parts.append(f"({left} {cop} {right})")
+            left = right
+        return "(" + " && ".join(parts) + ")" if len(parts) > 1 else parts[0]
+    if isinstance(node, ast.BoolOp):
+        cop = " && " if isinstance(node.op, ast.And) else " || "
+        return "(" + cop.join(_expr_c(v, ranks) for v in node.values) + ")"
+    raise CEmitError(f"cannot translate {type(node).__name__} to C")
+
+
+def _c_body(stmt: Statement, ranks: dict[str, int]) -> str:
+    """The statement's computation as compilable C.
+
+    Translates the *Python* body — the authoritative semantics the Python
+    emitter executes — rather than the display-oriented ``stmt.text``,
+    which drops details like periodic ``% N`` wraparound.  Raises
+    :class:`CEmitError` for anything outside the affine-kernel body
+    language (the caller falls back to the Python backend).
+    """
+    src = (stmt.body or "").strip()
+    if not src:
+        raise CEmitError(f"statement {stmt.name!r} has no body")
+    try:
+        tree = ast.parse(src, mode="exec")
+    except SyntaxError as e:
+        raise CEmitError(
+            f"statement {stmt.name!r} body is not parseable: {e}"
+        ) from None
+    if len(tree.body) != 1:
+        raise CEmitError(
+            f"statement {stmt.name!r} body must be a single assignment"
+        )
+    node = tree.body[0]
+    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+        lhs = _expr_c(node.targets[0], ranks)
+        return f"{lhs} = {_expr_c(node.value, ranks)};"
+    if isinstance(node, ast.AugAssign):
+        op = type(node.op)
+        if op not in _C_BINOPS:
+            raise CEmitError(
+                f"cannot translate augmented {op.__name__} to C"
+            )
+        lhs = _expr_c(node.target, ranks)
+        return f"{lhs} {_C_BINOPS[op]}= {_expr_c(node.value, ranks)};"
+    raise CEmitError(
+        f"statement {stmt.name!r} body must be a single assignment"
+    )
+
+
 class _CEmitter:
-    def __init__(self, tsched: TiledSchedule):
+    """Shared scanning emitter; ``kernel=True`` renders the compilable TU."""
+
+    def __init__(self, tsched: TiledSchedule, kernel: bool = False):
         self.tsched = tsched
         self.program = tsched.program
+        self.kernel = kernel
+        self.int_t = "int64_t" if kernel else "int"
         self.systems = {s.stmt.name: s for s in build_scan_systems(tsched)}
+        self.ranks = array_ranks(self.program) if kernel else {}
         self.lines: list[str] = []
 
     def line(self, indent: int, text: str) -> None:
         self.lines.append("  " * indent + text)
 
+    # -- top level ---------------------------------------------------------
+
     def emit(self) -> str:
+        if self.kernel:
+            return self._emit_kernel()
         self.lines.append(_HEADER)
         self.line(0, f"/* {self.program.name}: generated scanning code */")
         if not self.program.statements:
             return "\n".join(self.lines) + "\n"
         self.emit_level(0, list(self.program.statements), 0)
         return "\n".join(self.lines) + "\n"
+
+    def _emit_kernel(self) -> str:
+        self.line(0, f"/* {self.program.name}: repro native kernel */")
+        self.line(0, "#include <math.h>")
+        self.line(0, "#include <stdint.h>")
+        self.lines.append(_HEADER)
+        self.line(
+            0,
+            f"void {KERNEL_ENTRY}(double **arrays, const int64_t *shapes, "
+            f"const int64_t *params)",
+        )
+        self.line(0, "{")
+        self.line(1, "(void)arrays; (void)shapes; (void)params;")
+        for j, p in enumerate(self.program.params):
+            self.line(1, f"const int64_t {p} = params[{j}]; (void){p};")
+        offset = 0
+        for idx, name in enumerate(sorted(self.program.arrays())):
+            rank = self.ranks.get(name, 0)
+            if rank <= 1:
+                self.line(1, f"double *{name} = arrays[{idx}];")
+            else:
+                dims = []
+                for k in range(1, rank):
+                    self.line(
+                        1,
+                        f"const int64_t {name}_n{k} = shapes[{offset + k}];",
+                    )
+                    dims.append(f"[{name}_n{k}]")
+                vla = "".join(dims)
+                self.line(
+                    1,
+                    f"double (*{name}){vla} = (double (*){vla}) arrays[{idx}];",
+                )
+            offset += rank
+        if self.program.statements:
+            self.emit_level(0, list(self.program.statements), 1)
+        self.line(0, "}")
+        return "\n".join(self.lines) + "\n" + _KERNEL_EPILOGUE
+
+    # -- recursion ---------------------------------------------------------
 
     def emit_level(self, level: int, stmts, indent: int) -> None:
         if level == self.tsched.depth:
@@ -56,8 +348,19 @@ class _CEmitter:
             for s in stmts:
                 groups.setdefault(row.expr_for(s).const_term, []).append(s)
             for value in sorted(groups):
-                self.line(indent, f"/* {zv} = {value} */")
-                self.emit_level(level + 1, groups[value], indent)
+                if self.kernel:
+                    # a declared constant, not a comment: inner loop bounds
+                    # and guards may reference this scan dimension
+                    self.line(indent, "{")
+                    self.line(
+                        indent + 1, f"const {self.int_t} {zv} = {value};"
+                    )
+                    self.line(indent + 1, f"(void){zv};")
+                    self.emit_level(level + 1, groups[value], indent + 1)
+                    self.line(indent, "}")
+                else:
+                    self.line(indent, f"/* {zv} = {value} */")
+                    self.emit_level(level + 1, groups[value], indent)
             return
         lowers, uppers = [], []
         for s in stmts:
@@ -74,7 +377,7 @@ class _CEmitter:
             self.line(indent, "#pragma omp parallel for")
         self.line(
             indent,
-            f"for (int {zv} = {lb}; {zv} <= {ub}; {zv}++) {{",
+            f"for ({self.int_t} {zv} = {lb}; {zv} <= {ub}; {zv}++) {{",
         )
         self.emit_level(level + 1, stmts, indent + 1)
         self.line(indent, "}")
@@ -84,8 +387,6 @@ class _CEmitter:
         cur = indent
         closes = 0
         if len(self.program.statements) > 1:
-            from repro.codegen.emit_common import render_expr
-
             conds = []
             for con in sys.z_guards():
                 op = "==" if con.equality else ">="
@@ -99,12 +400,20 @@ class _CEmitter:
             lo, up = sys.iter_bounds(k)
             lb = merge_bounds([render_lower(b, "c") for b in lo], "max", "c")
             ub = merge_bounds([render_upper(b, "c") for b in up], "min", "c")
-            self.line(cur, f"for (int {it} = {lb}; {it} <= {ub}; {it}++) {{")
+            self.line(
+                cur,
+                f"for ({self.int_t} {it} = {lb}; {it} <= {ub}; {it}++) {{",
+            )
             cur += 1
             closes += 1
-        body = stmt.text or stmt.body
-        self.line(cur, f"{body};" if not body.rstrip().endswith(";") else body)
-        for c in range(closes):
+        if self.kernel:
+            self.line(cur, _c_body(stmt, self.ranks))
+        else:
+            body = stmt.text or stmt.body
+            self.line(
+                cur, f"{body};" if not body.rstrip().endswith(";") else body
+            )
+        for _ in range(closes):
             cur -= 1
             self.line(cur, "}")
 
@@ -112,3 +421,22 @@ class _CEmitter:
 def generate_c(tsched: TiledSchedule) -> str:
     """Render ``tsched`` as C-like source with OpenMP annotations."""
     return _CEmitter(tsched).emit()
+
+
+def generate_c_kernel(tsched: TiledSchedule) -> CKernelSource:
+    """Render ``tsched`` as a complete, compilable C translation unit.
+
+    Raises :class:`CEmitError` when the program cannot be expressed as a
+    native kernel (statements without C body text).
+    """
+    program = tsched.program
+    emitter = _CEmitter(tsched, kernel=True)
+    source = emitter.emit()
+    return CKernelSource(
+        source=source,
+        name=program.name,
+        entry=KERNEL_ENTRY,
+        array_order=tuple(sorted(program.arrays())),
+        array_ranks=array_ranks(program),
+        param_order=tuple(program.params),
+    )

@@ -72,9 +72,10 @@ def merge_bounds(
         return uniq[0]
     if lang == "py":
         return f"{outermost}({', '.join(uniq)})"
-    # C: nested binary max/min helpers
+    # C: nested binary helpers; prefixed names so the emitted source
+    # compiles cleanly next to <sys/param.h>/libc min/max definitions
     out = uniq[0]
-    fn = outermost
+    fn = f"repro_{outermost}"
     for nxt in uniq[1:]:
         out = f"{fn}({out}, {nxt})"
     return out

@@ -12,6 +12,7 @@ dependence-respecting order.
 from __future__ import annotations
 
 import math
+import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -42,14 +43,42 @@ _EXEC_GLOBALS = {
 }
 
 
+#: nonzero while the sanctioned factory is constructing (see
+#: :func:`repro.codegen.make_generated_code`)
+_factory_depth = 0
+
+
 @dataclass
 class GeneratedCode:
-    """Compiled kernel plus its source and schedule metadata."""
+    """Compiled kernel plus its source and schedule metadata.
+
+    Satisfies the :class:`repro.exec.CompiledKernel` protocol — this is the
+    ``backend == "python"`` implementation, with the native backend's
+    ``CKernel`` as its peer.  Construct through
+    :func:`repro.codegen.make_generated_code`; calling the class directly
+    is deprecated (the factory is where cross-emitter invariants live).
+    """
 
     python_source: str
     tsched: TiledSchedule
     traced: bool = False
     _func: Optional[Callable] = field(default=None, repr=False, compare=False)
+
+    backend = "python"
+
+    def __post_init__(self) -> None:
+        if _factory_depth == 0:
+            warnings.warn(
+                "constructing GeneratedCode(...) directly is deprecated; "
+                "use repro.codegen.make_generated_code(...)",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+
+    @property
+    def source(self) -> str:
+        """The emitted kernel text (CompiledKernel protocol surface)."""
+        return self.python_source
 
     def __getstate__(self) -> dict:
         """Pickle support: the compiled handle is a cache, not state.
@@ -182,8 +211,21 @@ class _Emitter:
             self.line(body_indent, f"__trace.append(('{stmt.name}', {vec}))")
 
 
+def _new_generated_code(
+    python_source: str, tsched: TiledSchedule, traced: bool = False
+) -> GeneratedCode:
+    """Construct without the direct-call deprecation warning (the factory
+    and the emitter come through here)."""
+    global _factory_depth
+    _factory_depth += 1
+    try:
+        return GeneratedCode(python_source, tsched, traced=traced)
+    finally:
+        _factory_depth -= 1
+
+
 def generate_python(tsched: TiledSchedule, trace: bool = False) -> GeneratedCode:
     """Generate an executable Python kernel scanning ``tsched``."""
     emitter = _Emitter(tsched, trace)
     source = emitter.emit()
-    return GeneratedCode(source, tsched, traced=trace)
+    return _new_generated_code(source, tsched, traced=trace)

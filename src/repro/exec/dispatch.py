@@ -1,0 +1,81 @@
+"""Backend-neutral kernel compilation: the seam the execution API sits on.
+
+:class:`CompiledKernel` is the protocol both emitters satisfy — the Python
+emitter's :class:`~repro.codegen.python_emit.GeneratedCode` and the native
+backend's :class:`~repro.exec.cbackend.CKernel` each expose ``backend``,
+``source``, and an in-place ``run(arrays, params)``.  Callers that hold a
+``CompiledKernel`` never branch on which one they got.
+
+:func:`compile_kernel` is the single dispatch point.  ``backend="python"``
+always succeeds; ``"c"``/``"auto"`` try the native path and — unless
+``strict`` — degrade to Python with the reason recorded in
+``ExecStats.fallback_reason``, so a missing compiler downgrades a run
+instead of failing it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.core.tiling import TiledSchedule
+from repro.exec.cbackend import build_c_kernel
+from repro.exec.options import ExecBackendError, ExecStats, ExecutionOptions
+
+__all__ = ["CompiledKernel", "compile_kernel"]
+
+
+@runtime_checkable
+class CompiledKernel(Protocol):
+    """What every execution backend hands back.
+
+    ``run`` mutates ``arrays`` in place; ``backend`` names the engine that
+    will execute ("python" or "c"); ``source`` is the emitted kernel text
+    in that backend's language.
+    """
+
+    backend: str
+
+    @property
+    def source(self) -> str: ...
+
+    def run(
+        self, arrays: Mapping[str, np.ndarray], params: Mapping[str, int]
+    ) -> None: ...
+
+
+def compile_kernel(
+    tsched: TiledSchedule,
+    options: Optional[ExecutionOptions] = None,
+    stats: Optional[ExecStats] = None,
+    code=None,
+):
+    """Compile ``tsched`` for the backend ``options`` selects.
+
+    ``code`` is an already-generated Python :class:`GeneratedCode` to reuse
+    for the Python backend (and the fallback), so dispatch never re-emits
+    what the pipeline already produced.  Returns a :class:`CompiledKernel`.
+
+    With ``options.strict`` the native path raises
+    :class:`ExecBackendError` instead of falling back.
+    """
+    from repro.codegen import generate_python  # cycle: codegen -> exec facade
+
+    options = options or ExecutionOptions()
+    if stats is not None:
+        stats.backend_requested = options.backend
+    if options.backend in ("c", "auto"):
+        try:
+            kernel = build_c_kernel(tsched, options, stats)
+            if stats is not None:
+                stats.backend = "c"
+            return kernel
+        except ExecBackendError as e:
+            if options.strict:
+                raise
+            if stats is not None:
+                stats.fallback_reason = str(e)
+    if stats is not None:
+        stats.backend = "python"
+    return code if code is not None else generate_python(tsched)

@@ -36,6 +36,7 @@ from repro.core.tiling import (
 )
 from repro.core.transform import Schedule
 from repro.deps import DependenceGraph, DepStats, compute_dependences
+from repro.exec.options import BACKENDS, ExecStats, ExecutionOptions
 from repro.frontend.ir import Program
 from repro.polyhedra.cache import cache_disabled
 
@@ -122,6 +123,12 @@ class PipelineOptions:
     l2_ratio: int = 8
     intra_tile: bool = False          # post-pass: rotate parallel loop inward
     deps_cache: bool = True           # --no-deps-cache disables the fast path
+    #: execution backend for ``OptimizationResult.run()``: "python" (the
+    #: exec'd numpy kernel, the historical behavior), "c" (compile the
+    #: emitted C natively), or "auto" (fastest available).  Purely an
+    #: execution-time knob — the schedule and generated sources are
+    #: identical across backends.
+    backend: str = "python"
 
     def __post_init__(self) -> None:
         """Validate up front — bad values otherwise surface as cryptic
@@ -148,6 +155,11 @@ class PipelineOptions:
             raise ValueError("l2_ratio must be >= 1")
         if self.min_band_width < 1:
             raise ValueError("min_band_width must be >= 1")
+        if self.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown backend {self.backend!r} "
+                f"(expected one of {', '.join(map(repr, BACKENDS))})"
+            )
 
     def scheduler_options(self) -> SchedulerOptions:
         return SchedulerOptions(
@@ -158,7 +170,17 @@ class PipelineOptions:
         )
 
     def as_dict(self) -> dict:
-        return dataclasses.asdict(self)
+        """Dict form for manifests and cache keys.
+
+        ``backend`` is omitted at its default ("python") so every cache key
+        and manifest written before the knob existed stays bit-identical;
+        a non-default backend *is* folded in, giving backend-specific
+        server cache entries their own keys.
+        """
+        d = dataclasses.asdict(self)
+        if d.get("backend") == "python":
+            del d["backend"]
+        return d
 
     @classmethod
     def from_dict(cls, data: dict) -> "PipelineOptions":
@@ -239,6 +261,92 @@ class OptimizationResult:
         ]
         return "\n".join(lines)
 
+    # -- execution --------------------------------------------------------
+
+    def run(
+        self,
+        arrays: dict,
+        params: dict,
+        exec_options: Optional[ExecutionOptions] = None,
+        stats: Optional[ExecStats] = None,
+    ) -> ExecStats:
+        """Execute the optimized kernel in place over ``arrays``.
+
+        The backend-neutral entry point: dispatches on
+        ``exec_options.backend`` (defaulting to the pipeline's
+        ``options.backend``, i.e. ``--backend``).  Native kernels are
+        compiled lazily on first call and memoized on the result; a missing
+        compiler degrades to the Python kernel with the reason in the
+        returned :class:`ExecStats.fallback_reason` (unless
+        ``exec_options.strict``).
+        """
+        if exec_options is None:
+            backend = self.options.backend if self.options is not None else "python"
+            exec_options = ExecutionOptions(backend=backend)
+        if stats is None:
+            stats = ExecStats()
+        stats.backend_requested = exec_options.backend
+        if exec_options.backend == "python":
+            stats.backend = "python"
+            t0 = time.perf_counter()
+            self.code.run(arrays, params)
+            stats.exec_seconds += time.perf_counter() - t0
+            return stats
+        kernel, cstats, fresh = self._compiled(exec_options)
+        stats.backend = kernel.backend
+        stats.fallback_reason = cstats.fallback_reason
+        stats.artifact_key = cstats.artifact_key
+        stats.compiler = cstats.compiler
+        if fresh:
+            stats.compile_seconds = cstats.compile_seconds
+            stats.artifact_cache = cstats.artifact_cache
+        elif stats.backend == "c":
+            # the kernel object is already built and loaded in this process
+            stats.artifact_cache = "memory"
+        if kernel.backend == "c":
+            kernel.run(
+                arrays, params, threads=exec_options.threads, stats=stats
+            )
+        else:
+            t0 = time.perf_counter()
+            kernel.run(arrays, params)
+            stats.exec_seconds += time.perf_counter() - t0
+        return stats
+
+    def _compiled(self, exec_options: ExecutionOptions):
+        """The memoized ``(kernel, compile-time stats)`` for these options.
+
+        The memo lives outside the dataclass fields and is dropped by
+        :meth:`__getstate__`: after a pickle round-trip the first ``run()``
+        recompiles through the content-addressed artifact cache (a disk
+        hit, not a rebuild, when the cache survived)."""
+        from repro.exec import compile_kernel
+
+        memo = self.__dict__.setdefault("_kernels", {})
+        key = (
+            exec_options.backend,
+            exec_options.cc,
+            exec_options.cache_dir,
+            exec_options.strict,
+        )
+        hit = memo.get(key)
+        if hit is not None:
+            kernel, cstats = hit
+            return kernel, cstats, False
+        cstats = ExecStats(backend_requested=exec_options.backend)
+        kernel = compile_kernel(
+            self.tiled, exec_options, cstats, code=self.code
+        )
+        memo[key] = (kernel, cstats)
+        return kernel, cstats, True
+
+    def __getstate__(self) -> dict:
+        """Compiled native kernels are caches, not state (the
+        ``GeneratedCode._func`` rule, one level up)."""
+        state = self.__dict__.copy()
+        state.pop("_kernels", None)
+        return state
+
     # -- serialization ----------------------------------------------------
 
     def to_json(self) -> str:
@@ -279,7 +387,7 @@ class OptimizationResult:
     @classmethod
     def from_json(cls, text: str) -> "OptimizationResult":
         """Inverse of :meth:`to_json`."""
-        from repro.codegen import GeneratedCode
+        from repro.codegen import make_generated_code
         from repro.core.scheduler import SchedulerStats
         from repro.deps import DepStats
         from repro.frontend.serialize import program_from_dict
@@ -294,7 +402,7 @@ class OptimizationResult:
         program = program_from_dict(data["program"])
         source_program = program_from_dict(data["source_program"])
         tiled = TiledSchedule.from_dict(program, data["tiled"])
-        code = GeneratedCode(
+        code = make_generated_code(
             data["code"]["python_source"], tiled, traced=data["code"]["traced"]
         )
         return cls(

@@ -10,7 +10,7 @@ satisfaction bookkeeping, tiling, or scanning.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Mapping, Optional
 
 import numpy as np
@@ -21,7 +21,13 @@ from repro.core.tiling import TiledSchedule
 from repro.frontend.ir import Program
 from repro.runtime.arrays import random_arrays
 
-__all__ = ["ValidationResult", "validate_transformation", "run_schedule"]
+__all__ = [
+    "BackendCompatReport",
+    "ValidationResult",
+    "backend_compat_check",
+    "validate_transformation",
+    "run_schedule",
+]
 
 
 @dataclass
@@ -40,13 +46,127 @@ def run_schedule(
     params: Mapping[str, int],
     arrays: Optional[dict] = None,
     seed: int = 0,
+    exec_options=None,
+    stats=None,
 ) -> dict:
-    """Generate, compile, and run a schedule; returns the (mutated) arrays."""
-    code = generate_python(tsched)
+    """Generate, compile, and run a schedule; returns the (mutated) arrays.
+
+    ``exec_options`` (an :class:`repro.exec.ExecutionOptions`) selects the
+    execution backend; the default is the historical Python path.
+    """
     if arrays is None:
         arrays = random_arrays(tsched.program, params, seed=seed)
-    code.run(arrays, dict(params))
+    if exec_options is None or exec_options.backend == "python":
+        code = generate_python(tsched)
+        code.run(arrays, dict(params))
+    else:
+        from repro.exec import compile_kernel
+
+        kernel = compile_kernel(tsched, exec_options, stats)
+        kernel.run(arrays, dict(params))
     return arrays
+
+
+def _max_ulp(a: np.ndarray, b: np.ndarray) -> int:
+    """Largest ULP distance between two float64 arrays of equal shape.
+
+    Uses the standard order-preserving bit mapping (negative floats fold
+    below zero), so the distance is exact for finite values; ``-0.0`` and
+    ``+0.0`` compare equal.
+    """
+    if a.size == 0:
+        return 0
+    ai = np.ascontiguousarray(a, dtype=np.float64).ravel().view(np.int64)
+    bi = np.ascontiguousarray(b, dtype=np.float64).ravel().view(np.int64)
+    lo = np.int64(-(2**63))
+    am = np.where(ai >= 0, ai, lo - ai)
+    bm = np.where(bi >= 0, bi, lo - bi)
+    return int(np.max(np.abs(am.astype(np.float64) - bm.astype(np.float64))))
+
+
+@dataclass
+class BackendCompatReport:
+    """Did a non-Python backend reproduce the Python kernel bit-for-bit?
+
+    ``checked`` is False when the native path gracefully fell back (no
+    compiler, no C body) — nothing was compared, and ``fallback_reason``
+    says why.  When checked, ``ok`` requires every array to agree within
+    ``max_ulps_allowed`` ULPs (0, the default, is bitwise identity —
+    achievable because kernels compile with ``-ffp-contract=off``).
+    """
+
+    ok: bool
+    checked: bool
+    backend: str
+    fallback_reason: Optional[str] = None
+    max_ulps: int = 0
+    max_abs_diff: float = 0.0
+    mismatched_arrays: list[str] = field(default_factory=list)
+    params: dict[str, int] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+
+def backend_compat_check(
+    tsched: TiledSchedule,
+    params: Mapping[str, int],
+    exec_options=None,
+    seed: int = 0,
+    max_ulps: int = 0,
+    arrays: Optional[dict] = None,
+) -> BackendCompatReport:
+    """Run ``tsched`` on both backends and compare outputs exactly.
+
+    The execution-level analogue of :func:`validate_transformation`: the
+    Python kernel is the reference, the backend ``exec_options`` selects is
+    the candidate, and agreement is bitwise (``max_ulps=0``) or
+    ULP-bounded.  Falls back gracefully — a missing compiler yields
+    ``checked=False``, not a failure.
+    """
+    from repro.exec import ExecStats, ExecutionOptions, compile_kernel
+
+    exec_options = exec_options or ExecutionOptions(backend="c")
+    cstats = ExecStats()
+    kernel = compile_kernel(tsched, exec_options, cstats)
+    if kernel.backend == "python":
+        return BackendCompatReport(
+            ok=True,
+            checked=False,
+            backend="python",
+            fallback_reason=cstats.fallback_reason,
+            params=dict(params),
+        )
+    base = arrays if arrays is not None else random_arrays(
+        tsched.program, params, seed=seed
+    )
+    ref = {k: v.copy() for k, v in base.items()}
+    out = {k: v.copy() for k, v in base.items()}
+    generate_python(tsched).run(ref, dict(params))
+    kernel.run(out, dict(params))
+
+    mismatched: list[str] = []
+    worst_ulp = 0
+    max_diff = 0.0
+    for name in sorted(ref):
+        a, b = ref[name], out[name]
+        if np.array_equal(a, b):
+            continue
+        ulps = _max_ulp(a, b)
+        worst_ulp = max(worst_ulp, ulps)
+        if a.size:
+            max_diff = max(max_diff, float(np.max(np.abs(a - b))))
+        if ulps > max_ulps:
+            mismatched.append(name)
+    return BackendCompatReport(
+        ok=not mismatched,
+        checked=True,
+        backend=kernel.backend,
+        max_ulps=worst_ulp,
+        max_abs_diff=max_diff,
+        mismatched_arrays=mismatched,
+        params=dict(params),
+    )
 
 
 def validate_transformation(

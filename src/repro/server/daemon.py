@@ -352,6 +352,7 @@ class Daemon:
             return protocol.encode_message(
                 protocol.error_response(request, "bad-request", str(e))
             )
+        self.metrics.count_backend(options_dict.get("backend", "python"))
 
         text, tier = self.cache.get(key)
         self.metrics.observe("lookup", time.perf_counter() - t_arrival)
@@ -561,6 +562,7 @@ class Daemon:
         except protocol.ProtocolError as e:
             self.metrics.count_error("bad-request")
             return protocol.error_response(request, "bad-request", str(e))
+        self.metrics.count_backend(options_dict.get("backend", "python"))
 
         key = cache_key(program_dict, options_dict)
         text, tier = self.cache.get(key)

@@ -77,6 +77,10 @@ class ServerMetrics:
         self.scheduler_paths: dict[str, int] = {}
         # fallback reason -> count, e.g. {"untilable-band": 1}
         self.fallback_reasons: dict[str, int] = {}
+        # resolved execution backend -> optimize requests, e.g.
+        # {"python": 40, "c": 2}; requests predating the knob count as
+        # "python" (the resolved-options default)
+        self.backends: dict[str, int] = {}
         # warm worker pool accounting (spawn-per-miss pools leave these 0)
         self.pool_spawns = 0       # workers forked (initial + replacements)
         self.pool_dispatches = 0   # jobs handed to a worker
@@ -127,6 +131,11 @@ class ServerMetrics:
                 self.fallback_reasons[reason] = (
                     self.fallback_reasons.get(reason, 0) + 1
                 )
+
+    def count_backend(self, backend: str) -> None:
+        """One resolved optimize request's execution backend."""
+        with self._lock:
+            self.backends[backend] = self.backends.get(backend, 0) + 1
 
     def count_pool_spawn(self) -> None:
         with self._lock:
@@ -190,6 +199,7 @@ class ServerMetrics:
                 "errors": dict(self.errors),
                 "scheduler_paths": dict(self.scheduler_paths),
                 "fallback_reasons": dict(self.fallback_reasons),
+                "backends": dict(self.backends),
                 "pool": {
                     "spawns": self.pool_spawns,
                     "dispatches": self.pool_dispatches,

@@ -39,9 +39,38 @@ DEFAULT_RETRIES = 1
 
 # -- worker side -------------------------------------------------------------
 
+def _exec_stats_record(spec: RunSpec, result) -> Optional[dict]:
+    """Compile + smoke-run the kernel on the requested native backend.
+
+    Only for non-default backends: the run uses the workload's small
+    validation sizes, so the manifest records real compile/execute numbers
+    (or the fallback reason) without meaningfully extending suite time.
+    """
+    if spec.options.backend == "python":
+        return None
+    from repro.exec import ExecStats, ExecutionOptions
+    from repro.runtime.arrays import random_arrays
+    from repro.workloads import get_workload
+
+    w = get_workload(spec.workload)
+    params = dict(w.small_sizes) or {p: 8 for p in result.program.params}
+    stats = ExecStats()
+    try:
+        result.run(
+            random_arrays(result.program, params),
+            params,
+            exec_options=ExecutionOptions(backend=spec.options.backend),
+            stats=stats,
+        )
+    except Exception as e:  # the schedule itself is fine; record and go on
+        stats.fallback_reason = f"exec smoke-run failed: {e}"
+    return stats.as_dict()
+
+
 def _ok_record(spec: RunSpec, result) -> dict:
     schedule = result.schedule
-    return {
+    exec_stats = _exec_stats_record(spec, result)
+    record = {
         "run_id": spec.run_id,
         "workload": spec.workload,
         "variant": spec.variant,
@@ -78,6 +107,9 @@ def _ok_record(spec: RunSpec, result) -> dict:
             None if result.dep_stats is None else result.dep_stats.as_dict()
         ),
     }
+    if exec_stats is not None:
+        record["exec_stats"] = exec_stats
+    return record
 
 
 def _run_one(spec_dict: dict) -> dict:

@@ -74,7 +74,12 @@ class TestMergeBounds:
         assert merge_bounds(["a", "b"], "max") == "max(a, b)"
 
     def test_c_nested(self):
-        assert merge_bounds(["a", "b", "c"], "min", "c") == "min(min(a, b), c)"
+        # prefixed macros: bare min/max collide with libc headers once the
+        # emitted source is actually compiled
+        assert (
+            merge_bounds(["a", "b", "c"], "min", "c")
+            == "repro_min(repro_min(a, b), c)"
+        )
 
     def test_empty_rejected(self):
         with pytest.raises(ValueError):

@@ -1,0 +1,69 @@
+"""The redesigned execution API surface: factory, re-exports, stability."""
+
+import warnings
+
+import pytest
+
+from repro.codegen import make_generated_code
+from repro.codegen.original import original_schedule
+from repro.codegen.python_emit import GeneratedCode, generate_python
+from repro.frontend import parse_program
+
+SRC = """
+for (i = 0; i < N; i++)
+    A[i] = 2.0 * A[i];
+"""
+
+
+def _tsched():
+    return original_schedule(parse_program(SRC, "p", params=("N",)))
+
+
+class TestFactory:
+    def test_direct_construction_warns(self):
+        tsched = _tsched()
+        template = generate_python(tsched)
+        with pytest.warns(DeprecationWarning, match="make_generated_code"):
+            GeneratedCode(
+                python_source=template.python_source, tsched=tsched
+            )
+
+    def test_factory_does_not_warn(self):
+        tsched = _tsched()
+        template = generate_python(tsched)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            code = make_generated_code(template.python_source, tsched)
+        assert code.python_source == template.python_source
+
+    def test_generate_python_does_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            generate_python(_tsched())
+
+
+class TestReExports:
+    def test_api_re_exports(self):
+        from repro import api
+
+        assert api.ExecutionOptions is not None
+        assert api.ExecStats is not None
+
+    def test_package_re_exports(self):
+        import repro
+
+        assert repro.ExecutionOptions().backend == "python"
+        assert repro.ExecStats().backend == "python"
+        assert "ExecutionOptions" in repro.__all__
+        assert "ExecStats" in repro.__all__
+
+    def test_exec_facade_is_complete(self):
+        from repro import exec as rexec
+
+        for name in (
+            "ArtifactCache", "CKernel", "CompiledKernel", "Compiler",
+            "ExecBackendError", "ExecStats", "ExecutionOptions",
+            "artifact_key", "build_c_kernel", "compile_kernel",
+            "default_cache_dir", "find_compiler",
+        ):
+            assert hasattr(rexec, name), name

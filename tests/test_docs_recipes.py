@@ -95,3 +95,24 @@ def test_quickstart_readme_snippet():
     result = optimize(program, PipelineOptions(algorithm="plutoplus"))
     assert result.schedule.rows[0].parallel  # outer parallel via negative skew
     assert "def kernel" in result.code.python_source
+
+
+def test_native_backend_recipe(tmp_path):
+    """The USAGE.md "Running at native speed" Python snippet (small sizes)."""
+    from repro import ExecutionOptions
+    from repro.exec import find_compiler
+    from repro.runtime import random_arrays
+
+    result = optimize("jacobi-2d-imper", PipelineOptions(backend="c"))
+    params = {"TSTEPS": 4, "N": 16}
+    arrays = random_arrays(result.program, params)
+    stats = result.run(
+        arrays, params,
+        exec_options=ExecutionOptions(backend="c", cache_dir=str(tmp_path)),
+    )
+    if find_compiler() is None:
+        assert stats.backend == "python"
+        assert "no C compiler" in stats.fallback_reason
+    else:
+        assert stats.backend == "c"
+        assert stats.artifact_cache in ("compiled", "disk", "memory")
