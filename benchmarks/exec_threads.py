@@ -1,0 +1,200 @@
+"""Native-backend thread scaling (Fig. 6 shape) + roofline check-in.
+
+For each workload the pipeline runs once with the paper flags, then the
+compiled C kernel executes at 1, 2, and 4 OpenMP threads:
+
+1. **bit-compat across thread counts** — the generated kernels write
+   disjoint points per parallel iteration (no reductions), so every
+   thread count must produce bitwise-identical arrays.  Any divergence
+   fails the gate: it would mean the emitted ``#pragma omp parallel for``
+   annotates a loop that was not actually parallel.
+2. **scaling curve** — best-of-``REPS`` wall time per thread count, plus
+   the parallel efficiency vs 1 thread.  There is **no perf gate** on the
+   curve: CI containers are often single-core (the curve is honestly
+   flat there), and the paper's Fig. 6 machine is a 16-core two-socket
+   Xeon we do not have.  The curve is recorded for plotting, not gated.
+3. **roofline check-in** — for workloads carrying a
+   :class:`~repro.workloads.base.PerfSpec`, the measured 1-thread time
+   feeds :func:`repro.machine.compare_roofline` and the predicted /
+   measured ratio lands in the report (the EXPERIMENTS.md table rows).
+
+Graceful degradation: without a C compiler the bench writes a skip
+record and exits 0.  A kernel compiled without OpenMP support still runs
+every "thread count" sequentially — recorded as ``omp: false`` and the
+bit-compat gate still applies (trivially).
+
+``REPRO_BENCH_SCALE=quick`` (CI) runs a 3-workload subset; ``full`` (the
+default) covers 6.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/exec_threads.py [-o BENCH_threads.json]
+
+Exits non-zero on a bit-compat failure or a backend fallback.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+
+from repro.exec import ExecStats, ExecutionOptions, find_compiler
+from repro.machine import compare_roofline
+from repro.pipeline import optimize
+from repro.runtime.arrays import random_arrays
+from repro.workloads import get_workload
+
+THREAD_COUNTS = (1, 2, 4)
+
+#: native timing repetitions per thread count (best-of)
+REPS = 3
+
+_QUICK = {
+    "fig1-skew": {"N": 128},
+    "jacobi-2d-imper": {"TSTEPS": 6, "N": 48},
+    "heat-1dp": {"N": 512, "T": 64},
+}
+
+_FULL = {
+    **_QUICK,
+    "fdtd-2d": {"TMAX": 6, "NX": 48, "NY": 48},
+    "seidel-2d": {"TSTEPS": 4, "N": 48},
+    "heat-2dp": {"N": 48, "T": 8},
+}
+
+
+def _workloads() -> dict[str, dict[str, int]]:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    return _QUICK if scale == "quick" else _FULL
+
+
+def _bench_one(name: str, params: dict, cache_dir: str) -> dict:
+    w = get_workload(name)
+    result = optimize(w.program(), w.pipeline_options("plutoplus"))
+    base = random_arrays(result.program, params, seed=0)
+
+    # Warm once: compile + load happen here, outside every timed run.
+    opts = ExecutionOptions(backend="c", cache_dir=cache_dir)
+    warm = ExecStats()
+    ref = {k: v.copy() for k, v in base.items()}
+    result.run(ref, params, exec_options=opts, stats=warm)
+    if warm.backend != "c":
+        return {
+            "workload": name, "params": params, "status": "fallback",
+            "fallback_reason": warm.fallback_reason,
+        }
+
+    curve = []
+    bitwise = True
+    for t in THREAD_COUNTS:
+        topts = ExecutionOptions(backend="c", cache_dir=cache_dir, threads=t)
+        t_arrays = {k: v.copy() for k, v in base.items()}
+        result.run(t_arrays, params, exec_options=topts)
+        same = all((ref[k] == t_arrays[k]).all() for k in sorted(base))
+        bitwise = bitwise and same
+
+        best = math.inf
+        for _ in range(REPS):
+            arrays = {k: v.copy() for k, v in base.items()}
+            t0 = time.perf_counter()
+            result.run(arrays, params, exec_options=topts)
+            best = min(best, time.perf_counter() - t0)
+        curve.append({
+            "threads": t,
+            "seconds": round(best, 6),
+            "bitwise_equal": same,
+        })
+
+    base_s = curve[0]["seconds"]
+    for point in curve:
+        point["speedup_vs_1t"] = round(base_s / point["seconds"], 2)
+        point["efficiency"] = round(
+            base_s / (point["seconds"] * point["threads"]), 3
+        )
+
+    rec = {
+        "workload": name,
+        "params": params,
+        "status": "ok",
+        "omp": warm.omp,
+        "bitwise_equal": bitwise,
+        "curve": curve,
+    }
+    try:
+        rec["roofline"] = compare_roofline(
+            result, base_s, cores=1, sizes=params
+        ).as_dict()
+    except ValueError:
+        rec["roofline"] = None  # no PerfSpec registered for this workload
+    return rec
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_threads.json")
+    args = ap.parse_args(argv)
+
+    compiler = find_compiler()
+    if compiler is None:
+        report = {
+            "bench": "exec_threads",
+            "status": "skipped",
+            "reason": "no C compiler found (tried $REPRO_CC, cc, gcc, clang)",
+        }
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"exec_threads: SKIP ({report['reason']})")
+        return 0
+
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="repro-threads-bench-") as cache:
+        cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE", cache)
+        for name, params in _workloads().items():
+            rec = _bench_one(name, params, cache_dir)
+            runs.append(rec)
+            if rec["status"] == "ok":
+                times = "  ".join(
+                    f"{p['threads']}t {p['seconds']:8.4f}s" for p in rec["curve"]
+                )
+                print(
+                    f"  {name:<18} {times}  omp={rec['omp']}  "
+                    f"bitwise={'yes' if rec['bitwise_equal'] else 'NO'}"
+                )
+            else:
+                print(f"  {name:<18} FELL BACK: {rec['fallback_reason']}")
+
+    ok_runs = [r for r in runs if r["status"] == "ok"]
+    mismatches = [r["workload"] for r in ok_runs if not r["bitwise_equal"]]
+    fallbacks = [r["workload"] for r in runs if r["status"] == "fallback"]
+    gate_ok = bool(ok_runs) and not mismatches and not fallbacks
+
+    report = {
+        "bench": "exec_threads",
+        "status": "ok" if gate_ok else "gate-failed",
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "full"),
+        "compiler": compiler.version,
+        "thread_counts": list(THREAD_COUNTS),
+        "mismatches": mismatches,
+        "fallbacks": fallbacks,
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    verdict = "PASS" if gate_ok else "FAIL"
+    print(
+        f"exec_threads: {verdict} — {len(ok_runs)} workload(s) "
+        f"bitwise-stable across {list(THREAD_COUNTS)} threads"
+        + (f"; mismatches: {mismatches}" if mismatches else "")
+        + (f"; fallbacks: {fallbacks}" if fallbacks else "")
+    )
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,248 @@
+"""Structural warm-start vs cold scheduling across a request sweep.
+
+Models the serving workload the skeleton store (``repro.core.skeleton``)
+exists for: the same kernel resubmitted with harmless option variations —
+different tile sizes, post-scheduling knobs — each of which is an
+exact-cache miss but a structural duplicate.  Per workload:
+
+1. **seed** — one request with the paper options populates the skeleton
+   store for the workload's structural fingerprint;
+2. per sweep variant (schedule-irrelevant option changes):
+   * **cold** — the store disabled, full Farkas + lexmin pipeline (timed);
+   * **warm** — the store enabled; every per-level solve must replay from
+     the seeded record (``structural_path == "hit"``, timed);
+   * the warm schedule, tiled schedule, and generated source must be
+     **byte-identical** to the cold ones — the store may only ever change
+     how fast the answer is found, never the answer.
+
+Both sides run in one process, so the in-process polyhedral cache is warm
+for cold and warm runs alike; the measured gap is exactly the Farkas +
+model-build + lexmin work the replay path skips.
+
+Parameter-*value* rescales (``param_min``) are also exercised: they share
+the fingerprint but change the Farkas systems, so they must degrade to
+per-solve cold fallbacks (``structural_path == "fallback"``) with —
+again — unchanged results.  They are recorded, not speed-gated.
+
+Gate: geometric-mean end-to-end speedup >= ``SPEEDUP_GATE``x (3x) over
+the structural-hit requests, every one of them byte-identical and every
+expected verdict (hit / fallback) observed.
+
+``REPRO_BENCH_SCALE=quick`` (CI) runs one variant per workload; ``full``
+(the default) sweeps three.  The workload matrix has 9 entries either way.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/incremental.py [-o BENCH_incremental.json]
+
+Exits non-zero on any gate failure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+
+from repro.pipeline import optimize
+from repro.workloads import get_workload
+
+SPEEDUP_GATE = 3.0
+
+#: the sweep matrix: scheduling-dominated workloads (the store cannot
+#: speed up dependence analysis or code generation, and must not change
+#: them).  Options come from each workload's registered paper flags.
+WORKLOADS = (
+    "fig1-skew",
+    "jacobi-1d-imper",
+    "jacobi-2d-imper",
+    "seidel-2d",
+    "fdtd-2d",
+    "gemm",
+    "mvt",
+    "lu",
+    "heat-1dp",
+)
+
+#: schedule-irrelevant option variants: every one lands on the seed's
+#: structural fingerprint *and* the same per-level solve keys, so a
+#: seeded store must answer the whole hyperplane search by replay
+_VARIANTS_FULL = (
+    {"tile_size": 16},
+    {"tile_size": 64},
+    {"intra_tile": True},
+)
+_VARIANTS_QUICK = ({"tile_size": 16},)
+
+#: workloads additionally re-run with rescaled param_min: fingerprint
+#: hit, solve-key mismatch, expected per-solve fallback
+_RESCALED = ("jacobi-2d-imper", "heat-1dp")
+
+
+def _variants():
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    return _VARIANTS_QUICK if scale == "quick" else _VARIANTS_FULL
+
+
+def _store(enabled: bool, root: str) -> None:
+    if enabled:
+        os.environ["REPRO_SKELETON_CACHE"] = root
+    else:
+        os.environ.pop("REPRO_SKELETON_CACHE", None)
+
+
+def _timed(program, options):
+    t0 = time.perf_counter()
+    result = optimize(program, options)
+    return time.perf_counter() - t0, result
+
+
+def _identical(a, b) -> bool:
+    return (
+        a.schedule.to_dict() == b.schedule.to_dict()
+        and a.tiled.to_dict() == b.tiled.to_dict()
+        and a.code.python_source == b.code.python_source
+    )
+
+
+def _bench_workload(name: str, root: str) -> list[dict]:
+    w = get_workload(name)
+    base = w.pipeline_options("plutoplus")
+    records = []
+
+    _store(True, root)
+    seed_seconds, _ = _timed(w.program(), base)
+
+    for variant in _variants():
+        options = dataclasses.replace(base, **variant)
+        _store(False, root)
+        cold_seconds, cold = _timed(w.program(), options)
+        _store(True, root)
+        warm_seconds, warm = _timed(w.program(), options)
+        st = warm.scheduler_stats
+        records.append({
+            "workload": name,
+            "variant": variant,
+            "kind": "hit",
+            "seed_seconds": round(seed_seconds, 6),
+            "cold_seconds": round(cold_seconds, 6),
+            "warm_seconds": round(warm_seconds, 6),
+            "speedup": round(cold_seconds / warm_seconds, 2),
+            "structural_path": st.structural_path,
+            "replayed_solves": st.structural_warm_start,
+            "identical": _identical(cold, warm),
+        })
+
+    if name in _RESCALED:
+        def rescaled():
+            program = w.program()
+            program.param_min = {
+                k: v * 10 for k, v in program.param_min.items()
+            }
+            return program
+
+        _store(True, root)
+        fb_seconds, fb = _timed(rescaled(), base)
+        _store(False, root)
+        _, cold = _timed(rescaled(), base)
+        records.append({
+            "workload": name,
+            "variant": {"param_min": "x10"},
+            "kind": "fallback",
+            "warm_seconds": round(fb_seconds, 6),
+            "structural_path": fb.scheduler_stats.structural_path,
+            "replayed_solves": fb.scheduler_stats.structural_warm_start,
+            "identical": _identical(cold, fb),
+        })
+    return records
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_incremental.json")
+    args = ap.parse_args(argv)
+
+    runs: list[dict] = []
+    with tempfile.TemporaryDirectory(prefix="repro-skeleton-bench-") as root:
+        try:
+            for name in WORKLOADS:
+                for rec in _bench_workload(name, root):
+                    runs.append(rec)
+                    if rec["kind"] == "hit":
+                        print(
+                            f"  {rec['workload']:<18} {str(rec['variant']):<22} "
+                            f"cold {rec['cold_seconds']:7.3f}s  "
+                            f"warm {rec['warm_seconds']:7.3f}s  "
+                            f"{rec['speedup']:7.1f}x  "
+                            f"path={rec['structural_path']}  "
+                            f"identical={'yes' if rec['identical'] else 'NO'}"
+                        )
+                    else:
+                        print(
+                            f"  {rec['workload']:<18} {str(rec['variant']):<22} "
+                            f"{rec['warm_seconds']:7.3f}s  "
+                            f"path={rec['structural_path']}  "
+                            f"identical={'yes' if rec['identical'] else 'NO'}"
+                        )
+        finally:
+            _store(False, root)
+
+    hits = [r for r in runs if r["kind"] == "hit"]
+    fallbacks = [r for r in runs if r["kind"] == "fallback"]
+    bad_bytes = [r for r in runs if not r["identical"]]
+    bad_path = (
+        [r for r in hits if r["structural_path"] != "hit"]
+        + [r for r in fallbacks if r["structural_path"] != "fallback"]
+    )
+    geomean = (
+        math.exp(sum(math.log(r["speedup"]) for r in hits) / len(hits))
+        if hits else 0.0
+    )
+    gate_ok = (
+        bool(hits)
+        and not bad_bytes
+        and not bad_path
+        and geomean >= SPEEDUP_GATE
+    )
+
+    report = {
+        "bench": "incremental",
+        "status": "ok" if gate_ok else "gate-failed",
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "full"),
+        "workloads": len(WORKLOADS),
+        "speedup_gate": SPEEDUP_GATE,
+        "geomean_speedup": round(geomean, 2),
+        "hit_requests": len(hits),
+        "fallback_requests": len(fallbacks),
+        "byte_mismatches": [
+            {"workload": r["workload"], "variant": r["variant"]}
+            for r in bad_bytes
+        ],
+        "path_mismatches": [
+            {"workload": r["workload"], "variant": r["variant"],
+             "structural_path": r["structural_path"]}
+            for r in bad_path
+        ],
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    verdict = "PASS" if gate_ok else "FAIL"
+    print(
+        f"incremental: {verdict} — geomean warm speedup {geomean:.1f}x "
+        f"(gate {SPEEDUP_GATE}x) over {len(hits)} structural-hit request(s), "
+        f"{len(fallbacks)} fallback(s)"
+        + (f"; byte mismatches: {len(bad_bytes)}" if bad_bytes else "")
+        + (f"; path mismatches: {len(bad_path)}" if bad_path else "")
+    )
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,11 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--threads", type=int, default=None, metavar="N",
                      help="OpenMP threads for native execution "
                           "(default: the OpenMP runtime's choice)")
+    opt.add_argument("--skeleton-dir", default=None, metavar="DIR",
+                     help="structural skeleton store for cross-request "
+                          "warm-started scheduling (sets "
+                          "REPRO_SKELETON_CACHE for this run; default: "
+                          "disabled)")
     opt.add_argument("--emit", choices=("c", "py", "schedule", "schedule-json"),
                      default="c")
     opt.add_argument("-o", "--output", help="write emitted code to a file")
@@ -193,6 +198,11 @@ def build_parser() -> argparse.ArgumentParser:
                             ".repro-cache; '' disables the disk tier)")
     serve.add_argument("--mem-entries", type=int, default=None, metavar="N",
                        help="in-memory cache entries (default 128)")
+    serve.add_argument("--skeleton-dir", default=None, metavar="DIR",
+                       help="structural skeleton store consulted on "
+                            "exact-cache misses (default: "
+                            "<cache-dir>/skeletons when the disk cache is "
+                            "enabled; '' disables)")
     serve.add_argument("--loop", choices=("async", "threads"), default="async",
                        help="serving loop: one asyncio event loop "
                             "multiplexing every connection (default), or the "
@@ -347,6 +357,10 @@ def _pipeline_options(args) -> PipelineOptions:
 
 
 def _cmd_opt(args) -> int:
+    import os
+
+    if getattr(args, "skeleton_dir", None):
+        os.environ["REPRO_SKELETON_CACHE"] = args.skeleton_dir
     program = _load_program(args)
     result = optimize(program, _pipeline_options(args))
     print(f"# {program.name}: {args.algorithm}", file=sys.stderr)
@@ -357,6 +371,10 @@ def _cmd_opt(args) -> int:
         if st.fallback_reason:
             line += f" ({st.fallback_reason})"
         print(line, file=sys.stderr)
+        if st.structural_path is not None:
+            print(f"# structural: {st.structural_path} "
+                  f"({st.structural_warm_start} replayed solves)",
+                  file=sys.stderr)
     print(f"# timing: {result.timing.as_dict()}", file=sys.stderr)
     if getattr(args, "stats", False) and result.scheduler_stats is not None:
         from repro.reporting import format_dep_stats, format_solve_stats
@@ -565,6 +583,11 @@ def _cmd_serve(args) -> int:
 
     if args.socket is None and args.port is None:
         raise SystemExit("error: serve needs --socket PATH or --port N")
+    cache_dir = args.cache_dir or None
+    skeleton_dir = args.skeleton_dir
+    if skeleton_dir is None and cache_dir is not None:
+        # default: ride along with the disk cache; --skeleton-dir '' opts out
+        skeleton_dir = os.path.join(cache_dir, "skeletons")
     try:
         config = DaemonConfig(
             socket_path=args.socket,
@@ -573,7 +596,8 @@ def _cmd_serve(args) -> int:
             jobs=args.jobs if args.jobs is not None else (os.cpu_count() or 1),
             timeout=args.timeout if args.timeout is not None else SERVE_TIMEOUT,
             backlog=args.backlog,
-            cache_dir=args.cache_dir or None,
+            cache_dir=cache_dir,
+            skeleton_dir=skeleton_dir or None,
             loop=args.loop,
             pool_mode=args.pool,
             pool_recycle=(args.recycle if args.recycle is not None
@@ -590,7 +614,8 @@ def _cmd_serve(args) -> int:
     print(f"# repro {__version__} serving on "
           f"{args.socket or f'{args.host}:{args.port}'} "
           f"(loop {config.loop}, pool {config.pool_mode}, jobs {config.jobs}, "
-          f"cache {config.cache_dir or 'memory-only'})",
+          f"cache {config.cache_dir or 'memory-only'}, "
+          f"skeletons {config.skeleton_dir or 'off'})",
           file=sys.stderr, flush=True)
     try:
         daemon.serve()

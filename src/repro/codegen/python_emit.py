@@ -162,14 +162,7 @@ class _Emitter:
         # The loop covers the union: min of the lower bounds, max of uppers.
         lb = merge_bounds(lowers, "min")
         ub = merge_bounds(uppers, "max")
-        tag = ""
-        if row.parallel:
-            tag = "  # parallel"
-            if row.kind == "tile":
-                tag = "  # parallel (concurrent start)" if any(
-                    b.concurrent_start for b in self.tsched.bands
-                    if b.start <= level <= b.end
-                ) else "  # parallel"
+        tag = "  # parallel" if row.parallel else ""
         self.line(indent, f"for {z_name(level)} in range({lb}, ({ub}) + 1):{tag}")
         self.emit_level(level + 1, stmts, indent + 1)
 

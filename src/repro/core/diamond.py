@@ -56,11 +56,16 @@ def find_diamond_schedule(
     ddg: DependenceGraph,
     options: Optional[SchedulerOptions] = None,
     stats: Optional[SchedulerStats] = None,
+    warm=None,
 ) -> Optional[Schedule]:
     """Search for a full-depth diamond band; ``None`` if not applicable.
 
     When ``stats`` is given, solver counters from the internal scheduler
-    accumulate into it (the pipeline's ``--stats`` plumbing).
+    accumulate into it (the pipeline's ``--stats`` plumbing).  ``warm`` is
+    an optional cross-request replay context
+    (:class:`repro.core.skeleton.WarmStart`); the constrained per-level
+    solves participate under their own solve-key tag, so diamond and
+    standard-band records never collide.
     """
     options = options or SchedulerOptions()
     time_iter = _common_time_iterator(program)
@@ -70,7 +75,7 @@ def find_diamond_schedule(
     if any(s.dim != ndim for s in program.statements) or ndim < 2:
         return None
 
-    scheduler = PlutoScheduler(program, ddg, options)
+    scheduler = PlutoScheduler(program, ddg, options, warm=warm)
     if stats is not None:
         scheduler.stats = stats
     ddg.reset()
@@ -124,6 +129,24 @@ def _find_constrained_hyperplane(
 ) -> Optional[ScheduleRow]:
     """One band hyperplane with the concurrent-start side constraints."""
     program = scheduler.program
+    skey = None
+    if scheduler.warm is not None:
+        # The side constraints below are fully determined by the model
+        # inputs plus (time_iter); the "diamond" tag keeps these records
+        # apart from the standard band search over the same state.
+        skey = scheduler._solve_key(sched, active, extra=["diamond", time_iter])
+        record = scheduler.warm.lookup(skey)
+        if record is not None:
+            try:
+                row = scheduler._replay_row(record)
+            except (KeyError, ValueError, TypeError):
+                scheduler.warm.forget(skey)  # poisoned record: solve cold
+            else:
+                scheduler.warm.hits += 1
+                scheduler.stats.structural_warm_start += 1
+                scheduler.stats.solve.structural_warm_start += 1
+                return row
+        scheduler.warm.misses += 1
     model = scheduler.build_model(sched, active)
     # distances bounded by a constant: u = 0
     for p in program.params:
@@ -169,6 +192,8 @@ def _find_constrained_hyperplane(
     scheduler.stats.solve_seconds += dt
     scheduler.stats.solve.merge(result.stats)
     scheduler.stats.solve.solve_seconds += dt
+    if scheduler.warm is not None:
+        scheduler._record_solve(skey, result)
     if not result.is_optimal:
         return None
     exprs = {}

@@ -128,6 +128,13 @@ class SchedulerStats:
     #: per-statement fusion decisions of the winning schedule: statement
     #: names grouped by shared scalar (SCC-ordering) coordinates
     fusion_groups: list = field(default_factory=list)
+    #: cross-request skeleton reuse (``repro.core.skeleton``): how many
+    #: per-level solves were answered by replaying a recorded solution,
+    #: and the request-level verdict — ``None`` (store disabled), "miss"
+    #: (no prior record), "hit" (every solve replayed), or "fallback"
+    #: (record existed but some level had to be solved cold)
+    structural_warm_start: int = 0
+    structural_path: Optional[str] = None
 
     def as_dict(self) -> dict:
         """JSON-serializable form (suite manifests, ``--stats`` plumbing)."""
@@ -147,6 +154,8 @@ class SchedulerStats:
             "quick_validations": self.quick_validations,
             "quick_seconds": self.quick_seconds,
             "fusion_groups": [list(g) for g in self.fusion_groups],
+            "structural_warm_start": self.structural_warm_start,
+            "structural_path": self.structural_path,
         }
 
     @classmethod
@@ -169,6 +178,9 @@ class SchedulerStats:
             quick_validations=data.get("quick_validations", 0),
             quick_seconds=data.get("quick_seconds", 0.0),
             fusion_groups=[list(g) for g in data.get("fusion_groups", [])],
+            # structural warm-start fields postdate the format as well
+            structural_warm_start=data.get("structural_warm_start", 0),
+            structural_path=data.get("structural_path"),
         )
 
 
@@ -178,11 +190,16 @@ class PlutoScheduler:
         program: Program,
         ddg: DependenceGraph,
         options: Optional[SchedulerOptions] = None,
+        warm=None,
     ):
         self.program = program
         self.ddg = ddg
         self.options = options or SchedulerOptions()
         self.stats = SchedulerStats()
+        # Cross-request replay context (repro.core.skeleton.WarmStart).
+        # Disabled under REPRO_EXACT_LEGACY: the seed-reproduction mode
+        # must not take any fast path, even a provably identical one.
+        self.warm = warm if (warm is not None and not legacy_exact_mode()) else None
         # Lazily computed Farkas constraints per dependence (they do not
         # depend on the level, so one elimination serves the whole run).
         self._farkas_cache: dict[int, tuple[list, list]] = {}
@@ -281,6 +298,13 @@ class PlutoScheduler:
                 legality_constraints(dep),
                 bounding_constraints(dep),
             )
+            if self.warm is not None:
+                legal, bound = self._farkas_cache[key]
+                self.warm.note_farkas(
+                    f"{dep.kind}:{dep.source.name}->{dep.target.name}"
+                    f"@{dep.array}",
+                    len(legal), len(bound),
+                )
         return self._farkas_cache[key]
 
     # -- the per-level ILP ----------------------------------------------------------
@@ -419,9 +443,73 @@ class PlutoScheduler:
                     self._add_con(model, seen, con)
         return model
 
+    def _solve_key(
+        self, sched: Schedule, active: Sequence[Dependence], extra=None
+    ) -> str:
+        from repro.core.skeleton import scheduler_solve_key
+
+        return scheduler_solve_key(
+            self.program, self.options, sched, active,
+            memo=self.warm.digest_memo, extra=extra,
+        )
+
+    def _replay_row(self, record: dict) -> Optional[ScheduleRow]:
+        """Reconstruct ``find_hyperplane``'s answer from a recorded solve.
+
+        Only called for an *exact* solve-key match, where the lexmin
+        optimum is a unique vector (every model variable is in the
+        objective order) — so this is the same row a cold solve would
+        produce, including the no-hyperplane (non-optimal / all-zero)
+        outcomes.  Raises ``KeyError``/``ValueError`` on a malformed
+        record; the caller falls back to the cold solve.
+        """
+        if record.get("status") != "optimal":
+            return None
+        assignment = record["assignment"]
+        exprs: dict[str, AffExpr] = {}
+        nonzero = False
+        for s in self.program.statements:
+            terms = {
+                it: int(Fraction(assignment[c_name(s, it)]))
+                for it in s.space.dims
+            }
+            for p in s.space.params:
+                terms[p] = int(Fraction(assignment[d_name(s, p)]))
+            const = int(Fraction(assignment[c0_name(s)]))
+            expr = AffExpr.from_terms(s.space, terms, const)
+            if any(terms.values()) or const:
+                nonzero = True
+            exprs[s.name] = expr
+        if not nonzero:
+            return None
+        return ScheduleRow("loop", exprs)
+
+    def _record_solve(self, skey: str, result) -> None:
+        record: dict = {"status": result.status}
+        if result.is_optimal:
+            record["assignment"] = {
+                name: str(value) for name, value in result.assignment.items()
+            }
+        self.warm.record(skey, record)
+
     def find_hyperplane(
         self, sched: Schedule, active: Sequence[Dependence]
     ) -> Optional[ScheduleRow]:
+        skey = None
+        if self.warm is not None:
+            skey = self._solve_key(sched, active)
+            record = self.warm.lookup(skey)
+            if record is not None:
+                try:
+                    row = self._replay_row(record)
+                except (KeyError, ValueError, TypeError):
+                    self.warm.forget(skey)  # poisoned record: solve cold
+                else:
+                    self.warm.hits += 1
+                    self.stats.structural_warm_start += 1
+                    self.stats.solve.structural_warm_start += 1
+                    return row
+            self.warm.misses += 1
         model = self.build_model(sched, active)
         self.stats.ilp_variables_max = max(
             self.stats.ilp_variables_max, model.num_variables
@@ -438,6 +526,8 @@ class PlutoScheduler:
         self.stats.backends_used.add(result.backend)
         self.stats.solve.merge(result.stats)
         self.stats.solve.solve_seconds += dt
+        if self.warm is not None:
+            self._record_solve(skey, result)
         if not result.is_optimal:
             return None
         exprs: dict[str, AffExpr] = {}

@@ -1,0 +1,448 @@
+"""Cross-request structural warm-start: fingerprints, solve replay, store.
+
+The serving cache (PR 4) answers *exact* repeats: same serialized IR, same
+resolved options, byte-for-byte.  Real request streams are sweeps — the
+same kernel resubmitted with a different tile size, a different execution
+backend, a renamed program, rescaled problem-size parameters.  Every such
+near-duplicate is an exact-cache miss that pays the whole Farkas + lexmin
+pipeline again even though the PLUTO+ constraint system only depends on
+the *shape* of the domains and dependences.
+
+This module turns those misses into warm solves, in three pieces:
+
+* **structural fingerprint** — a canonical hash of the request modulo
+  parameter values: the program's structural dict (see
+  :func:`repro.frontend.serialize.structural_program_dict`) plus only the
+  *schedule-relevant* options (tile sizes, backends, post-scheduling
+  passes are dropped).  Two requests with the same fingerprint run the
+  same hyperplane search over the same dependence shapes.
+
+* **solve replay** (:class:`WarmStart`) — the per-level artifacts worth
+  reusing.  Every ``find_hyperplane`` ILP is identified by a *solve key*:
+  an exhaustive hash of everything that determines the model and the
+  solver's answer (algorithm, bounds, backend, statement spaces, current
+  ranks and hyperplane rows, the active dependences' polyhedra, parameter
+  lower bounds).  Because every model variable appears in the lexmin
+  objective order, the lexicographic optimum is a *unique* vector — so a
+  recorded solution vector for an identical solve key can be replayed
+  verbatim and is bit-identical to re-solving by construction.  Any key
+  mismatch (e.g. rescaled ``param_min`` changes the Farkas system) falls
+  back to a cold solve for that level; correctness never rests on the
+  record.
+
+* **skeleton store** (:class:`SkeletonStore`) — per structural
+  fingerprint, the recorded solves plus descriptive metadata (Farkas row
+  skeleton sizes, chosen band structure, the quick-scheduler verdict),
+  content-addressed on disk following the ``ScheduleCache`` pattern:
+  ``<root>/<fp[:2]>/<fp>.json``, atomic tmp+rename writes, orphaned-tmp
+  sweeping, restart survival.  Enabled via ``REPRO_SKELETON_CACHE`` (the
+  daemon sets it from ``--skeleton-dir``); unset, empty, or
+  ``REPRO_EXACT_LEGACY=1`` disables the whole layer.
+
+The store can only ever change *how fast* a schedule is found, never
+*which* schedule: replay fires solely on exact solve-key matches, and the
+regression suite pins warm results byte-identical to cold ones.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from threading import Lock
+from typing import Mapping, Optional
+
+from repro.ilp import legacy_exact_mode
+
+__all__ = [
+    "SKELETON_FORMAT_VERSION",
+    "SCHEDULE_RELEVANT_OPTIONS",
+    "SkeletonStore",
+    "SkeletonStoreStats",
+    "WarmStart",
+    "dependence_digest",
+    "scheduler_solve_key",
+    "skeleton_store_from_env",
+    "structural_fingerprint",
+]
+
+#: bumped whenever the fingerprint, solve-key, or record shape changes —
+#: folded into both, so stale records are simply never looked up again
+SKELETON_FORMAT_VERSION = 1
+
+#: the PipelineOptions fields that can change which schedule the
+#: hyperplane search finds.  Everything else (tiling knobs, execution
+#: backend, cache toggles) only affects post-scheduling passes and is
+#: deliberately *excluded*, so an option sweep over them lands on one
+#: fingerprint.
+SCHEDULE_RELEVANT_OPTIONS = (
+    "algorithm",
+    "scheduler",
+    "coeff_bound",
+    "ilp_backend",
+    "fuse",
+    "iss",
+    "diamond",
+)
+
+#: puts between opportunistic orphaned-tmp sweeps (see SkeletonStore.merge)
+TMP_SWEEP_EVERY = 64
+
+_DEFAULT_MEMORY_ENTRIES = 32
+
+
+def _canonical_hash(payload) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+# -- fingerprints ------------------------------------------------------------
+
+def structural_fingerprint(program_dict: Mapping, options_dict: Mapping) -> str:
+    """Structural identity of one scheduling request (hex sha256).
+
+    Distinct from :func:`repro.server.cache.cache_key`: the program enters
+    modulo its name and parameter *values* (shape only), and only the
+    :data:`SCHEDULE_RELEVANT_OPTIONS` subset of the options participates.
+    The pipeline fingerprint is folded in so records from a pipeline that
+    could schedule differently are never consulted.
+    """
+    from repro.frontend.serialize import structural_program_dict
+    from repro.pipeline import pipeline_fingerprint
+
+    options = {
+        k: options_dict[k] for k in SCHEDULE_RELEVANT_OPTIONS
+        if k in options_dict
+    }
+    return _canonical_hash({
+        "v": SKELETON_FORMAT_VERSION,
+        "pipeline": pipeline_fingerprint(options_dict.get("scheduler", "exact")),
+        "program": structural_program_dict(program_dict),
+        "options": options,
+    })
+
+
+def dependence_digest(dep, memo: Optional[dict] = None) -> str:
+    """Content identity of one dependence edge (hex sha256).
+
+    Hashes the raw product-space polyhedron (constraint rows, order
+    insensitive) plus the edge's endpoints and renames — everything the
+    Farkas elimination consumes.  ``memo`` (keyed by ``id(dep)``) amortizes
+    the hash across the per-level solve keys of one scheduler run.
+    """
+    if memo is not None:
+        cached = memo.get(id(dep))
+        if cached is not None:
+            return cached
+    space = dep.polyhedron.space
+    rows = sorted(
+        (tuple(str(x) for x in c.coeffs), c.equality)
+        for c in dep.polyhedron.constraints
+    )
+    digest = _canonical_hash([
+        dep.source.name, dep.target.name, dep.kind, dep.array,
+        sorted(dep.src_rename.items()), sorted(dep.tgt_rename.items()),
+        list(space.dims), list(space.params), rows,
+    ])
+    if memo is not None:
+        memo[id(dep)] = digest
+    return digest
+
+
+def scheduler_solve_key(
+    program, options, sched, active, memo: Optional[dict] = None, extra=None
+) -> str:
+    """Identity of one ``find_hyperplane`` ILP solve (hex sha256).
+
+    Covers every input the per-level model is built from — scheduler
+    options that shape the model or pick the solver, statement spaces,
+    current ranks and hyperplane rows, the active dependences' polyhedra,
+    and the parameter lower bounds (they enter the dependence context and
+    hence the Farkas system).  ``extra`` tags variants that add side
+    constraints on top of ``build_model`` (the diamond search).  Two solves
+    with equal keys have the same unique lexmin optimum, so a recorded
+    solution is exact — not heuristic — reuse.
+    """
+    payload = {
+        "v": SKELETON_FORMAT_VERSION,
+        "alg": options.algorithm,
+        "b": options.coeff_bound,
+        "csum": options.csum_objective,
+        "ilp": options.ilp_backend,
+        "auto": options.auto_threshold,
+        "params": list(program.params),
+        "pmin": sorted(program.param_min.items()),
+        "stmts": [
+            [
+                s.name,
+                list(s.space.dims),
+                list(s.space.params),
+                sched.rank[s.name],
+                sched.h_rows(s),
+            ]
+            for s in program.statements
+        ],
+        "deps": sorted(dependence_digest(d, memo) for d in active),
+        "extra": extra,
+    }
+    return _canonical_hash(payload)
+
+
+# -- per-run replay context --------------------------------------------------
+
+class WarmStart:
+    """Recorded solves for one structural fingerprint, live for one run.
+
+    ``solves`` maps solve key → ``{"status": ..., "assignment": {var:
+    "int-or-fraction-string"}}``.  The scheduler consults it per level
+    (:meth:`lookup`) and records every cold solve (:meth:`record`);
+    ``hits``/``misses`` drive the request's ``structural_path`` verdict
+    and ``dirty`` tells the pipeline whether the store needs a merge.
+    """
+
+    def __init__(self, solves: Optional[dict] = None):
+        self.solves: dict = dict(solves or {})
+        self.hits = 0
+        self.misses = 0
+        self.dirty = False
+        #: informational Farkas row-skeleton sizes, label → [legal, bound]
+        self.farkas: dict[str, list[int]] = {}
+        #: shared dependence-digest memo across this run's solve keys
+        self.digest_memo: dict = {}
+
+    def lookup(self, skey: str) -> Optional[dict]:
+        rec = self.solves.get(skey)
+        return rec if isinstance(rec, dict) else None
+
+    def record(self, skey: str, record: dict) -> None:
+        if skey not in self.solves:
+            self.solves[skey] = record
+            self.dirty = True
+
+    def forget(self, skey: str) -> None:
+        """Drop a record that failed to replay (corrupt/foreign)."""
+        if self.solves.pop(skey, None) is not None:
+            self.dirty = True
+
+    def note_farkas(self, label: str, n_legal: int, n_bound: int) -> None:
+        if label not in self.farkas:
+            self.farkas[label] = [n_legal, n_bound]
+            self.dirty = True
+
+
+# -- the on-disk store -------------------------------------------------------
+
+@dataclass
+class SkeletonStoreStats:
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    invalid_dropped: int = 0
+    tmp_swept: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "invalid_dropped": self.invalid_dropped,
+            "tmp_swept": self.tmp_swept,
+        }
+
+
+class SkeletonStore:
+    """Disk-persistent skeleton records, one JSON file per fingerprint.
+
+    Follows the ``ScheduleCache`` discipline — ``<root>/<fp[:2]>/<fp>.json``
+    written atomically via tmp+rename, invalid files dropped and
+    recomputed, orphaned temporaries swept at startup *and* opportunistically
+    every :data:`TMP_SWEEP_EVERY` merges (long-lived daemons accumulate
+    orphans from killed workers long after startup) — plus a small
+    in-memory LRU so a warm worker serving a sweep re-reads nothing.
+    """
+
+    def __init__(
+        self,
+        root: os.PathLike,
+        memory_entries: int = _DEFAULT_MEMORY_ENTRIES,
+        sweep_every: int = TMP_SWEEP_EVERY,
+    ):
+        self.root = Path(root)
+        self.memory_entries = max(0, int(memory_entries))
+        self.sweep_every = max(1, int(sweep_every))
+        self.stats = SkeletonStoreStats()
+        self._mem: OrderedDict[str, dict] = OrderedDict()
+        self._lock = Lock()
+        self._puts = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats.tmp_swept += self._sweep_tmp()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def path_for(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def _sweep_tmp(self, max_age: float = 300.0) -> int:
+        """Remove orphaned atomic-write temporaries left by killed writers.
+
+        Files younger than ``max_age`` may belong to a live writer in
+        another process sharing the directory and are left alone.
+        """
+        swept = 0
+        now = time.time()
+        for tmp in self.root.glob("*/*.tmp.*"):
+            try:
+                if now - tmp.stat().st_mtime < max_age:
+                    continue
+                tmp.unlink()
+                swept += 1
+            except OSError:
+                continue  # raced another sweeper, or unreadable: skip
+        return swept
+
+    @staticmethod
+    def _valid(record) -> bool:
+        return (
+            isinstance(record, dict)
+            and record.get("version") == SKELETON_FORMAT_VERSION
+            and isinstance(record.get("solves"), dict)
+        )
+
+    def _remember(self, fingerprint: str, record: dict) -> None:
+        # caller holds the lock
+        if self.memory_entries == 0:
+            return
+        if fingerprint in self._mem:
+            self._mem.move_to_end(fingerprint)
+        else:
+            while len(self._mem) >= self.memory_entries:
+                self._mem.popitem(last=False)
+        self._mem[fingerprint] = record
+
+    # -- lookups -----------------------------------------------------------
+
+    def get(self, fingerprint: str) -> Optional[dict]:
+        """The stored record, or ``None``; invalid files are dropped."""
+        with self._lock:
+            record = self._mem.get(fingerprint)
+            if record is not None:
+                self._mem.move_to_end(fingerprint)
+                self.stats.hits += 1
+                return record
+        path = self.path_for(fingerprint)
+        corrupt = False
+        try:
+            record = json.loads(path.read_text())
+        except OSError:
+            record = None
+        except ValueError:
+            record, corrupt = None, True  # killed writer / truncated file
+        if corrupt or (record is not None and not self._valid(record)):
+            with self._lock:
+                self.stats.invalid_dropped += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            record = None
+        with self._lock:
+            if record is None:
+                self.stats.misses += 1
+                return None
+            self.stats.hits += 1
+            self._remember(fingerprint, record)
+            return record
+
+    # -- stores ------------------------------------------------------------
+
+    def merge(
+        self,
+        fingerprint: str,
+        solves: Mapping,
+        meta: Optional[Mapping] = None,
+        farkas: Optional[Mapping] = None,
+    ) -> dict:
+        """Read-merge-write one fingerprint's record (atomic replace).
+
+        New solve keys are added to whatever is already on disk — a sweep
+        that discovers new levels (e.g. a diamond variant) grows the same
+        record; existing keys are kept (first writer wins, and equal keys
+        imply equal solutions anyway).  Returns the merged record.
+        """
+        path = self.path_for(fingerprint)
+        current = None
+        try:
+            current = json.loads(path.read_text())
+        except (OSError, ValueError):
+            pass
+        if not self._valid(current):
+            current = {
+                "version": SKELETON_FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "solves": {},
+                "farkas": {},
+                "meta": {},
+            }
+        for skey, rec in solves.items():
+            current["solves"].setdefault(skey, rec)
+        if farkas:
+            stored = current.setdefault("farkas", {})
+            for label, rows in farkas.items():
+                stored.setdefault(label, rows)
+        if meta:
+            current.setdefault("meta", {}).update(meta)
+        current["meta"]["updated"] = time.time()
+
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(current, sort_keys=True))
+        os.replace(tmp, path)
+        with self._lock:
+            self.stats.stores += 1
+            self._remember(fingerprint, current)
+            self._puts += 1
+            due = self._puts % self.sweep_every == 0
+        if due:
+            swept = self._sweep_tmp()
+            with self._lock:
+                self.stats.tmp_swept += swept
+        return current
+
+    # -- introspection -----------------------------------------------------
+
+    def disk_len(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            stats = self.stats.as_dict()
+        return {**stats, "disk_entries": self.disk_len(), "root": str(self.root)}
+
+
+# -- resolution --------------------------------------------------------------
+
+_STORES: dict[str, SkeletonStore] = {}
+_STORES_LOCK = Lock()
+
+
+def skeleton_store_from_env() -> Optional[SkeletonStore]:
+    """The process-wide store for ``REPRO_SKELETON_CACHE``, or ``None``.
+
+    Unset/empty disables the layer outright, as does
+    ``REPRO_EXACT_LEGACY=1`` (the seed-reproduction mode must not take any
+    fast path).  Stores are memoized per path so a warm worker keeps its
+    in-memory tier and stats across the requests it serves.
+    """
+    path = os.environ.get("REPRO_SKELETON_CACHE", "").strip()
+    if not path or legacy_exact_mode():
+        return None
+    with _STORES_LOCK:
+        store = _STORES.get(path)
+        if store is None:
+            store = _STORES[path] = SkeletonStore(path)
+        return store

@@ -40,9 +40,9 @@ class TiledRow:
 
     ``kind``: ``"loop"`` (equality ``z == phi``), ``"scalar"`` (constant), or
     ``"tile"`` (``ts*z <= phi <= ts*z + ts - 1``).  ``parallel`` flags carry
-    over from hyperplane properties; for tile rows the flag describes the
-    tile loop (e.g. concurrent start makes the first tile dimension of a
-    diamond band parallel).
+    over from hyperplane properties scheduler-side; tile rows are always
+    sequential (see :func:`tile_schedule` — a hyperplane that carries no
+    dependence pointwise can still be carried at tile granularity).
     """
 
     kind: str
@@ -157,11 +157,17 @@ def tile_schedule(
     """Tile every permutable band of width >= ``min_band_width``.
 
     ``tile_size`` may be a single size or a per-band mapping (band index ->
-    size).  Bands marked ``concurrent_start`` (diamond) get a parallel first
-    tile dimension; ordinary tiled bands get a sequential first tile
-    dimension with the remaining tile dimensions parallel when the source
-    band was found under a bounded distance (wavefront/pipeline parallelism
-    is modeled by the machine layer, not re-expressed as a skewed loop here).
+    size).  Tile dimensions are never marked parallel — not even for
+    ``concurrent_start`` (diamond) bands.  A diamond band's hyperplanes are
+    each non-negative on every dependence, but neither is carried-free at
+    tile granularity: a dependence can advance ``h1`` across a tile
+    boundary while ``floor((h1+h2)/ts)`` stays put, so annotating the
+    first tile loop parallel races under real threads (caught by the
+    ``exec_threads`` bit-compat gate).  True concurrent start needs a
+    wavefront over the *tile indices* (``z1+z2`` sequential, ``z1``
+    parallel), which the scan cannot express yet — the band keeps its
+    ``concurrent_start`` flag for the analytic machine layer, and point
+    rows keep whatever parallel marks the scheduler proved.
     """
     out = TiledSchedule(sched.program, source_schedule=sched)
     sizes = tile_size if isinstance(tile_size, dict) else None
@@ -184,17 +190,14 @@ def tile_schedule(
                 else tile_size
             )
             tile_start = len(out.rows)
-            for offset, lv in enumerate(next_band.levels()):
+            for lv in next_band.levels():
                 src = sched.rows[lv]
-                parallel = (
-                    next_band.concurrent_start and offset == 0
-                )
                 out.rows.append(
                     TiledRow(
                         "tile",
                         dict(src.exprs),
                         tile_size=ts,
-                        parallel=parallel,
+                        parallel=False,
                         band_role="tile",
                     )
                 )

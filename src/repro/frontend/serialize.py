@@ -13,6 +13,8 @@ the IR's structural equality.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from typing import Mapping
 
 from repro.frontend.ir import Access, Program, Statement
@@ -22,6 +24,8 @@ __all__ = [
     "IR_FORMAT_VERSION",
     "program_to_dict",
     "program_from_dict",
+    "structural_program_dict",
+    "structural_program_fingerprint",
     "space_to_dict",
     "space_from_dict",
     "basicset_to_dict",
@@ -138,6 +142,38 @@ def program_to_dict(program: Program) -> dict:
         "param_min": dict(program.param_min),
         "statements": [_statement_to_dict(s) for s in program.statements],
     }
+
+
+def structural_program_dict(data: Mapping) -> dict:
+    """``program_to_dict`` output modulo parameter *values*.
+
+    The program name and the ``param_min`` values are dropped (parameter
+    *names* stay — they shape the coordinate spaces); statements keep
+    their domains, accesses, bodies, and original schedules in full.  Two
+    programs with equal structural dicts run the identical hyperplane
+    search over the same dependence shapes, differing at most in the
+    parameter lower bounds that enter the Farkas context rows — which is
+    exactly the equivalence the cross-request skeleton store
+    (:mod:`repro.core.skeleton`) keys on.
+    """
+    return {
+        "version": data["version"],
+        "params": list(data["params"]),
+        "param_names": sorted(data["param_min"]),
+        "statements": data["statements"],
+    }
+
+
+def structural_program_fingerprint(data: Mapping) -> str:
+    """Canonical hash (hex sha256) of :func:`structural_program_dict`.
+
+    Invariant under program renaming and parameter-value rescaling; any
+    edit to a statement body, domain, or access changes it.
+    """
+    text = json.dumps(
+        structural_program_dict(data), sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
 def program_from_dict(data: Mapping) -> Program:

@@ -173,8 +173,11 @@ class SolveStats:
     ``warm_starts``/``shortcut_hits``/``probe_hits`` from the lexmin driver
     (objectives resolved from a warm tableau, the at-lower-bound shortcut,
     and the all-remaining-at-lower-bounds feasibility probe); ``dedup_rows``/
-    ``models_reused`` from the scheduler's model construction; and
-    ``solve_seconds`` is wall time spent inside ILP solves.
+    ``models_reused`` from the scheduler's model construction;
+    ``structural_warm_start`` counts whole per-level solves answered by
+    replaying a cross-request skeleton record (``repro.core.skeleton``)
+    without building or solving a model at all; and ``solve_seconds`` is
+    wall time spent inside ILP solves.
     """
 
     simplex_pivots: int = 0
@@ -185,6 +188,7 @@ class SolveStats:
     probe_hits: int = 0
     dedup_rows: int = 0
     models_reused: int = 0
+    structural_warm_start: int = 0
     solve_seconds: float = 0.0
 
     def merge(self, other: "SolveStats") -> None:
@@ -196,6 +200,7 @@ class SolveStats:
         self.probe_hits += other.probe_hits
         self.dedup_rows += other.dedup_rows
         self.models_reused += other.models_reused
+        self.structural_warm_start += other.structural_warm_start
         self.solve_seconds += other.solve_seconds
 
     @classmethod
@@ -212,5 +217,6 @@ class SolveStats:
             "probe_hits": self.probe_hits,
             "dedup_rows": self.dedup_rows,
             "models_reused": self.models_reused,
+            "structural_warm_start": self.structural_warm_start,
             "solve_seconds": self.solve_seconds,
         }

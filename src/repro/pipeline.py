@@ -479,6 +479,27 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
     stats = SchedulerStats()
     stats.scheduler_mode = options.scheduler
 
+    # Cross-request structural warm-start (repro.core.skeleton): when a
+    # skeleton store is configured, load any record for this request's
+    # structural fingerprint and hand the scheduler a replay context.  The
+    # context only answers per-level solves whose exact solve key matches
+    # a recorded one — replay is bit-identical to a cold solve by
+    # construction — so a rescaled or edited request silently degrades to
+    # cold solving, never to a different schedule.
+    from repro.core.skeleton import WarmStart, skeleton_store_from_env
+
+    store = skeleton_store_from_env()
+    fingerprint = prior = warm = None
+    if store is not None:
+        from repro.core.skeleton import structural_fingerprint
+        from repro.frontend.serialize import program_to_dict
+
+        fingerprint = structural_fingerprint(
+            program_to_dict(program), options.as_dict()
+        )
+        prior = store.get(fingerprint)
+        warm = WarmStart(prior.get("solves") if prior else None)
+
     t0 = time.perf_counter()
     if options.scheduler in ("quick", "auto"):
         from repro.core.quick import attempt_quick_schedule
@@ -498,10 +519,12 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
             "exact" if options.scheduler == "exact" else "fallback"
         )
         if options.diamond:
-            schedule = find_diamond_schedule(work, ddg, sched_opts, stats=stats)
+            schedule = find_diamond_schedule(
+                work, ddg, sched_opts, stats=stats, warm=warm
+            )
             used_diamond = schedule is not None
         if schedule is None:
-            scheduler = PlutoScheduler(work, ddg, sched_opts)
+            scheduler = PlutoScheduler(work, ddg, sched_opts, warm=warm)
             scheduler.stats = stats  # accumulate alongside any diamond attempt
             schedule = scheduler.schedule()
     from repro.core.quick import fusion_groups_of
@@ -509,6 +532,27 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
     stats.fusion_groups = fusion_groups_of(schedule)
     timing.auto_transformation += time.perf_counter() - t0
     timing.ilp_solve = stats.solve.solve_seconds
+
+    if store is not None:
+        stats.structural_warm_start = warm.hits
+        stats.structural_path = (
+            "miss" if prior is None
+            else ("hit" if warm.misses == 0 else "fallback")
+        )
+        if warm.dirty or prior is None:
+            store.merge(
+                fingerprint,
+                warm.solves,
+                farkas=warm.farkas,
+                meta={
+                    "program": program.name,
+                    "scheduler_path": stats.scheduler_path,
+                    "fallback_reason": stats.fallback_reason,
+                    "used_diamond": used_diamond,
+                    "depth": schedule.depth,
+                    "bands": [str(b) for b in schedule.bands],
+                },
+            )
 
     t0 = time.perf_counter()
     mark_parallelism(schedule, ddg)

@@ -49,8 +49,14 @@ DEFAULT_MEMORY_ENTRIES = 128
 
 #: ``<key>.tmp.<pid>`` files older than this are orphans of a writer that
 #: died between write and rename; younger ones may belong to a live writer
-#: in another daemon sharing the directory, so the startup sweep skips them
+#: in another daemon sharing the directory, so the sweeps skip them
 TMP_SWEEP_AGE = 300.0
+
+#: stores between opportunistic re-sweeps: a startup-only sweep lets a
+#: long-lived daemon accumulate orphans from workers killed mid-write, so
+#: every Nth put re-runs the sweep (an empty glob over the cache tree,
+#: microseconds next to the result serialization it rides on)
+TMP_SWEEP_EVERY = 64
 
 
 def canonical_request(program_dict: dict, options_dict: dict) -> str:
@@ -118,12 +124,15 @@ class ScheduleCache:
         self,
         cache_dir: Optional[os.PathLike],
         memory_entries: int = DEFAULT_MEMORY_ENTRIES,
+        sweep_every: int = TMP_SWEEP_EVERY,
     ):
         self.cache_dir = None if cache_dir is None else Path(cache_dir)
         self.memory_entries = max(0, int(memory_entries))
+        self.sweep_every = max(1, int(sweep_every))
         self.stats = CacheStats()
         self._mem: OrderedDict[str, str] = OrderedDict()
         self._lock = Lock()
+        self._puts = 0
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
             self.stats.tmp_swept = self._sweep_tmp()
@@ -133,7 +142,8 @@ class ScheduleCache:
 
         A writer killed between ``tmp.write_text`` and ``os.replace``
         leaves ``<key>.tmp.<pid>`` behind forever; nothing ever looks one
-        up, so startup is the only place to reclaim the space.  Files
+        up.  Runs at startup and again every ``sweep_every`` puts (see
+        :meth:`put`) so long-lived daemons reclaim the space too.  Files
         younger than ``max_age`` are left alone — they may belong to a
         live writer in another daemon sharing this directory.
         """
@@ -213,6 +223,7 @@ class ScheduleCache:
     def put(self, key: str, text: str) -> None:
         """Insert into both tiers; the disk write is atomic (tmp+rename)."""
         path = self.path_for(key)
+        due = False
         if path is not None:
             path.parent.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -221,6 +232,13 @@ class ScheduleCache:
         with self._lock:
             self.stats.stores += 1
             self._remember(key, text)
+            if path is not None:
+                self._puts += 1
+                due = self._puts % self.sweep_every == 0
+        if due:
+            swept = self._sweep_tmp()
+            with self._lock:
+                self.stats.tmp_swept += swept
 
     def _remember(self, key: str, text: str) -> None:
         # caller holds the lock

@@ -141,6 +141,11 @@ class DaemonConfig:
     backlog: Optional[int] = None       # queued misses beyond `jobs` (default 2x)
     cache_dir: Optional[str] = ".repro-cache"
     memory_entries: int = DEFAULT_MEMORY_ENTRIES
+    #: structural skeleton store (repro.core.skeleton) consulted by the
+    #: pipeline inside pool workers on exact-cache misses; exported to the
+    #: workers via REPRO_SKELETON_CACHE before the pool starts.  None
+    #: disables the layer.
+    skeleton_dir: Optional[str] = None
     drain_seconds: float = 60.0         # SIGTERM: wait this long for workers
     loop: str = "async"                 # "async" | "threads" (legacy)
     pool_mode: str = "warm"             # "warm" | "spawn" (legacy)
@@ -233,6 +238,7 @@ class Daemon:
 
     def serve(self) -> None:
         """Bind, accept until asked to stop, then drain.  Blocks."""
+        self._export_skeleton_env()
         if self.config.loop == "async":
             asyncio.run(self._serve_async())
         else:
@@ -241,6 +247,14 @@ class Daemon:
     def shutdown(self) -> None:
         """Ask the daemon to drain and stop (thread-safe, returns fast)."""
         self._stop.set()
+
+    def _export_skeleton_env(self) -> None:
+        """Publish ``skeleton_dir`` to the pool workers (must run before
+        ``pool.start()``: warm workers fork once at startup and inherit
+        the environment; spawn-per-miss workers inherit it at each
+        spawn)."""
+        if self.config.skeleton_dir:
+            os.environ["REPRO_SKELETON_CACHE"] = self.config.skeleton_dir
 
     def _drain_pool(self) -> None:
         drained = self.pool.drain(timeout=self.config.drain_seconds)
@@ -538,13 +552,15 @@ class Daemon:
         }
 
     def _count_owner_scheduler(self, result_text: str) -> None:
-        # One computation, counted once: which scheduler path won and,
-        # when the quick heuristic bowed out, why.
+        # One computation, counted once: which scheduler path won, why the
+        # quick heuristic bowed out (if it did), and how the structural
+        # skeleton store fared (hit / miss / fallback; None when disabled).
         sched_stats = json.loads(result_text).get("scheduler_stats") or {}
         self.metrics.count_scheduler(
             sched_stats.get("scheduler_path"),
             sched_stats.get("fallback_reason"),
         )
+        self.metrics.count_structural(sched_stats.get("structural_path"))
 
     # -- the optimize path (threads loop) ----------------------------------
 
@@ -674,6 +690,7 @@ class Daemon:
                 backlog=self.pool.backlog,
                 loop=self.config.loop,
                 pool_mode=self.config.pool_mode,
+                skeleton_dir=self.config.skeleton_dir,
             ),
             "cache": self.cache.snapshot(),
         }

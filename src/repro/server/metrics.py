@@ -77,6 +77,14 @@ class ServerMetrics:
         self.scheduler_paths: dict[str, int] = {}
         # fallback reason -> count, e.g. {"untilable-band": 1}
         self.fallback_reasons: dict[str, int] = {}
+        # structural warm-start outcomes on computed (miss) responses,
+        # from the result's SchedulerStats.structural_path: a skeleton
+        # record replayed every solve (hit), no record existed (miss), or
+        # a record existed but some level solved cold (fallback).
+        # Requests served with the store disabled count nowhere.
+        self.structural_hits = 0
+        self.structural_misses = 0
+        self.structural_fallbacks = 0
         # resolved execution backend -> optimize requests, e.g.
         # {"python": 40, "c": 2}; requests predating the knob count as
         # "python" (the resolved-options default)
@@ -131,6 +139,24 @@ class ServerMetrics:
                 self.fallback_reasons[reason] = (
                     self.fallback_reasons.get(reason, 0) + 1
                 )
+
+    def count_structural(self, path: Optional[str]) -> None:
+        """One computed response's skeleton-store outcome.
+
+        ``path`` is ``structural_path`` from the result's SchedulerStats;
+        ``None`` (store disabled, or a record predating the field) is not
+        counted.  Like :meth:`count_scheduler`, exact-cache hits are never
+        recorded — they reuse a previously counted computation.
+        """
+        if path is None:
+            return
+        with self._lock:
+            if path == "hit":
+                self.structural_hits += 1
+            elif path == "fallback":
+                self.structural_fallbacks += 1
+            else:
+                self.structural_misses += 1
 
     def count_backend(self, backend: str) -> None:
         """One resolved optimize request's execution backend."""
@@ -199,6 +225,9 @@ class ServerMetrics:
                 "errors": dict(self.errors),
                 "scheduler_paths": dict(self.scheduler_paths),
                 "fallback_reasons": dict(self.fallback_reasons),
+                "structural_hits": self.structural_hits,
+                "structural_misses": self.structural_misses,
+                "structural_fallbacks": self.structural_fallbacks,
                 "backends": dict(self.backends),
                 "pool": {
                     "spawns": self.pool_spawns,
@@ -226,6 +255,8 @@ class ServerMetrics:
             f"{snap['misses']} computed, {snap['busy']} busy, "
             f"scheduler {json.dumps(snap['scheduler_paths'])}, "
             f"fallbacks {json.dumps(snap['fallback_reasons'])}, "
+            f"structural {snap['structural_hits']}/{snap['structural_misses']}"
+            f"/{snap['structural_fallbacks']} (hit/miss/fb), "
             f"errors {json.dumps(snap['errors'])}, "
             f"hit rate {snap['hit_rate']:.2f}, "
             f"p50 total {('%.3fs' % p50) if p50 is not None else 'n/a'}"

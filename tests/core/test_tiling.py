@@ -70,7 +70,12 @@ class TestTileSchedule:
         assert tile_band.width == 2 and point_band.width == 2
         assert tile_band.end + 1 == point_band.start
 
-    def test_concurrent_start_marks_first_tile_parallel(self):
+    def test_concurrent_start_tiles_stay_sequential(self):
+        """Diamond hyperplanes are dependence-non-negative pointwise but can
+        still be carried at tile granularity — annotating the first tile
+        loop parallel raced under real OpenMP threads (exec_threads gate),
+        so tile rows are never marked; the band flag alone records
+        concurrent start for the analytic layers."""
         from repro.core import find_diamond_schedule, index_set_split
         from repro.workloads.periodic import heat_1dp
 
@@ -80,8 +85,8 @@ class TestTileSchedule:
         mark_parallelism(s, ddg)
         ts = tile_schedule(s, tile_size=8)
         tiles = [r for r in ts.rows if r.kind == "tile"]
-        assert tiles[0].parallel
-        assert not tiles[1].parallel
+        assert not any(t.parallel for t in tiles)
+        assert any(b.concurrent_start for b in ts.bands)
 
 
 class TestScheduleContainer:

@@ -190,6 +190,38 @@ class TestDiskHygiene:
         cache = ScheduleCache(tmp_path / "new")
         assert cache.stats.tmp_swept == 0
 
+    def test_opportunistic_sweep_every_n_puts(self, tmp_path):
+        """A long-lived daemon must reclaim orphans left *after* startup —
+        the startup-only sweep used to let them accumulate forever."""
+        import os
+
+        root = tmp_path / "c"
+        cache = ScheduleCache(root, sweep_every=2)
+        key = cache_key(PROGRAM, OPTIONS)
+        orphan = root / key[:2] / f"{key}.tmp.99999"
+        orphan.parent.mkdir(parents=True, exist_ok=True)
+        orphan.write_text("{half a payl")
+        old = time.time() - 3600
+        os.utime(orphan, (old, old))
+
+        cache.put(key, _payload())          # put 1: not due yet
+        assert orphan.exists()
+        cache.put("ab" + "0" * 62, _payload())  # put 2: sweep fires
+        assert not orphan.exists()
+        assert cache.stats.tmp_swept == 1
+
+    def test_opportunistic_sweep_spares_fresh_tmp(self, tmp_path):
+        root = tmp_path / "c"
+        cache = ScheduleCache(root, sweep_every=1)
+        key = cache_key(PROGRAM, OPTIONS)
+        fresh = root / key[:2] / f"{key}.tmp.99999"
+        fresh.parent.mkdir(parents=True, exist_ok=True)
+        fresh.write_text("{in progress")
+
+        cache.put(key, _payload())  # due immediately, but file is young
+        assert fresh.exists()
+        assert cache.stats.tmp_swept == 0
+
     def test_snapshot_reports_both_tiers(self, tmp_path):
         cache = ScheduleCache(tmp_path / "c", memory_entries=5)
         cache.put(cache_key(PROGRAM, OPTIONS), _payload())

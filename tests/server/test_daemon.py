@@ -385,8 +385,11 @@ class TestShutdown:
 
     def test_new_work_refused_while_draining(self, daemon_factory):
         # a connection opened before the drain can still submit, but a
-        # cache miss during the drain is refused with shutting-down
-        daemon = daemon_factory()
+        # cache miss during the drain is refused with shutting-down.  The
+        # drain must outlast the scripted 0.6s job even on a loaded
+        # 1-core runner, where fork+sleep can blow the default 2s budget
+        # and the kill looks like a mid-request connection drop.
+        daemon = daemon_factory(drain_seconds=15.0)
         slow_resp = []
 
         def ask_slow():
@@ -484,6 +487,48 @@ class TestRealPipeline:
         # fig3 is registered with iss=True; the daemon fills that in
         assert resp["result"]["options"]["iss"] is True
         assert resp["result"]["used_iss"] is True
+
+    def test_skeleton_store_survives_restart(
+        self, daemon_factory, monkeypatch, tmp_path
+    ):
+        """A reboot keeps the structural skeletons: the first request to the
+        reborn daemon that misses the exact cache must warm-start from the
+        previous daemon's solves, visibly in the stats counters."""
+        monkeypatch.setenv("REPRO_SKELETON_CACHE", "")  # restored on teardown
+        skel = str(tmp_path / "skeletons")
+        program = parse_program(TINY, "sweep", params=("N",))
+
+        first = daemon_factory(scripted=False, skeleton_dir=skel)
+        with _client(first) as client:
+            seed = client.optimize(program=program_to_dict(program))
+            stats1 = client.stats()["stats"]["server"]
+        assert seed["result"]["scheduler_stats"]["structural_path"] == "miss"
+        assert stats1["structural_misses"] == 1
+        assert stats1["skeleton_dir"] == skel
+        first.shutdown()
+
+        second = daemon_factory(scripted=False, skeleton_dir=skel)
+        with _client(second) as client:
+            # different tile_size: exact-cache miss, structural duplicate
+            warm = client.optimize(
+                program=program_to_dict(program), options={"tile_size": 64}
+            )
+            stats2 = client.stats()["stats"]["server"]
+        assert warm["cache"] == "miss"
+        st = warm["result"]["scheduler_stats"]
+        assert st["structural_path"] == "hit"
+        assert st["structural_warm_start"] > 0
+        assert stats2["structural_hits"] == 1
+
+        # replayed solves must not change the answer: byte-parity with a
+        # cold in-process run (the daemon exported the env var into this
+        # process — clear it so the reference really is cold)
+        monkeypatch.setenv("REPRO_SKELETON_CACHE", "")
+        local = json.loads(
+            optimize(program, PipelineOptions(tile_size=64)).to_json()
+        )
+        for field in ("schedule", "tiled", "code"):
+            assert warm["result"][field] == local[field]
 
     def test_client_rebuilds_optimization_result(self, daemon_factory):
         daemon = daemon_factory(scripted=False)

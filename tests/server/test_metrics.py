@@ -127,6 +127,21 @@ class TestServerMetrics:
         assert '"quick": 1' in line
         assert "no-legal-permutation" in line
 
+    def test_structural_counters(self):
+        m = ServerMetrics()
+        m.count_structural("hit")
+        m.count_structural("hit")
+        m.count_structural("miss")
+        m.count_structural("fallback")
+        m.count_structural(None)  # store disabled: not counted at all
+        assert (m.structural_hits, m.structural_misses,
+                m.structural_fallbacks) == (2, 1, 1)
+        snap = m.snapshot()
+        assert snap["structural_hits"] == 2
+        assert snap["structural_misses"] == 1
+        assert snap["structural_fallbacks"] == 1
+        assert "structural 2/1/1 (hit/miss/fb)" in m.summary_line()
+
     def test_pool_counters(self):
         m = ServerMetrics()
         m.count_pool_spawn()
