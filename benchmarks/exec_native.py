@@ -38,6 +38,7 @@ import tempfile
 import time
 
 from repro.exec import ExecStats, ExecutionOptions, find_compiler
+from repro.machine import compare_roofline
 from repro.pipeline import optimize
 from repro.runtime.arrays import random_arrays
 from repro.workloads import get_workload
@@ -104,7 +105,7 @@ def _bench_one(name: str, params: dict, cache_dir: str) -> dict:
         result.run(arrays, params, exec_options=opts)
         c_seconds = min(c_seconds, time.perf_counter() - t0)
 
-    return {
+    rec = {
         "workload": name,
         "params": params,
         "status": "ok",
@@ -116,6 +117,16 @@ def _bench_one(name: str, params: dict, cache_dir: str) -> dict:
         "artifact_cache": warm.artifact_cache,
         "omp": warm.omp,
     }
+    # Model check-in: the measured native time against the roofline
+    # prediction for this schedule's execution mode, at these sizes
+    # (benchmarks/roofline_table.py renders the EXPERIMENTS.md table).
+    try:
+        rec["roofline"] = compare_roofline(
+            result, c_seconds, cores=1, sizes=params
+        ).as_dict()
+    except ValueError:
+        rec["roofline"] = None  # no PerfSpec registered for this workload
+    return rec
 
 
 def main(argv=None) -> int:

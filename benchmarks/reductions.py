@@ -1,0 +1,209 @@
+"""Parallel-reduction relaxation: execution speedup + tolerance correctness.
+
+For each reduction-bound workload the pipeline runs twice — once with the
+exact dependence model (the serial baseline: no parallel dimension exists)
+and once with ``parallel_reductions="omp"`` — and the gate checks that the
+relaxation actually bought something:
+
+1. **parallelism** — the relaxed schedule must carry at least one
+   reduction-tagged parallel level (``tiled.reduction_levels()``); if the
+   tag never appears the subsystem silently regressed.
+2. **correctness** — the relaxed schedule, executed on the native backend
+   with OpenMP threads, must agree with the *serial Python baseline* under
+   the documented tolerance contract (``rtol=1e-9``): the reduction clause
+   reassociates the accumulation, so bitwise identity is out of contract.
+3. **speed** — best-of-``REPS`` native parallel execution vs the serial
+   Python baseline; gate is geometric-mean speedup >= ``SPEEDUP_GATE``x.
+
+Graceful degradation: without a C compiler the bench writes a skip record
+and exits 0 (the speedup gate is meaningless without the native backend).
+
+``REPRO_BENCH_SCALE=quick`` (CI) shrinks the problem sizes.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/reductions.py [-o BENCH_reductions.json]
+
+Exits non-zero on any gate failure (missing tag, mismatch, sub-gate
+speedup).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.exec import ExecStats, ExecutionOptions, find_compiler
+from repro.pipeline import PipelineOptions, optimize
+from repro.runtime.arrays import random_arrays
+from repro.workloads import get_workload
+
+SPEEDUP_GATE = 2.0
+
+#: native timing repetitions (best-of; the Python baseline runs once)
+REPS = 3
+
+#: relative tolerance of the correctness leg — the documented contract for
+#: parallelized reductions (docs/API.md)
+RTOL, ATOL = 1e-9, 1e-11
+
+_QUICK = {
+    "dot": {"N": 400000},
+    "l2norm": {"N": 400000},
+    "tensor-contract": {"N": 300},
+    "gemm": {"NI": 48, "NJ": 48, "NK": 48},
+}
+
+_FULL = {
+    **_QUICK,
+    "dot": {"N": 4000000},
+    "l2norm": {"N": 4000000},
+    "tensor-contract": {"N": 800},
+    "gemm": {"NI": 96, "NJ": 96, "NK": 96},
+}
+
+
+def _workloads() -> dict[str, dict[str, int]]:
+    scale = os.environ.get("REPRO_BENCH_SCALE", "full")
+    return _QUICK if scale == "quick" else _FULL
+
+
+def _bench_one(name: str, params: dict, cache_dir: str) -> dict:
+    w = get_workload(name)
+
+    # Serial baseline: exact dependence model, Python reference executor.
+    serial = optimize(w.program(), w.pipeline_options("plutoplus"))
+    base = random_arrays(serial.program, params, seed=0)
+    ref = {k: v.copy() for k, v in base.items()}
+    t0 = time.perf_counter()
+    serial.run(ref, params)
+    serial_seconds = time.perf_counter() - t0
+
+    # Relaxed: reduction self-deps dropped from legality, omp discharge.
+    relaxed = optimize(
+        w.program(),
+        w.pipeline_options("plutoplus", parallel_reductions="omp"),
+    )
+    red_levels = relaxed.tiled.reduction_levels()
+    par_levels = relaxed.tiled.parallel_levels()
+
+    opts = ExecutionOptions(backend="c", cache_dir=cache_dir)
+    warm = ExecStats()
+    out = {k: v.copy() for k, v in base.items()}
+    relaxed.run(out, params, exec_options=opts, stats=warm)
+    if warm.backend != "c":
+        return {
+            "workload": name, "params": params, "status": "fallback",
+            "fallback_reason": warm.fallback_reason,
+        }
+
+    mismatched = [
+        k for k in sorted(base)
+        if not np.allclose(ref[k], out[k], rtol=RTOL, atol=ATOL)
+    ]
+
+    c_seconds = math.inf
+    for _ in range(REPS):
+        arrays = {k: v.copy() for k, v in base.items()}
+        t0 = time.perf_counter()
+        relaxed.run(arrays, params, exec_options=opts)
+        c_seconds = min(c_seconds, time.perf_counter() - t0)
+
+    return {
+        "workload": name,
+        "params": params,
+        "status": "ok",
+        "reduction_levels": red_levels,
+        "parallel_levels": par_levels,
+        "tolerance_ok": not mismatched,
+        "mismatched_arrays": mismatched,
+        "serial_python_seconds": round(serial_seconds, 6),
+        "c_omp_seconds": round(c_seconds, 6),
+        "speedup": round(serial_seconds / c_seconds, 2),
+        "compile_seconds": round(warm.compile_seconds, 6),
+        "omp": warm.omp,
+    }
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("-o", "--output", default="BENCH_reductions.json")
+    args = ap.parse_args(argv)
+
+    compiler = find_compiler()
+    if compiler is None:
+        report = {
+            "bench": "reductions",
+            "status": "skipped",
+            "reason": "no C compiler found (tried $REPRO_CC, cc, gcc, clang)",
+        }
+        with open(args.output, "w") as f:
+            json.dump(report, f, indent=2)
+        print(f"reductions: SKIP ({report['reason']})")
+        return 0
+
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="repro-red-bench-") as cache:
+        cache_dir = os.environ.get("REPRO_ARTIFACT_CACHE", cache)
+        for name, params in _workloads().items():
+            rec = _bench_one(name, params, cache_dir)
+            runs.append(rec)
+            if rec["status"] == "ok":
+                print(
+                    f"  {name:<18} serial-py {rec['serial_python_seconds']:8.4f}s  "
+                    f"c+omp {rec['c_omp_seconds']:8.4f}s  "
+                    f"{rec['speedup']:8.1f}x  "
+                    f"red-levels={rec['reduction_levels']}  "
+                    f"tol={'ok' if rec['tolerance_ok'] else 'MISMATCH'}"
+                )
+            else:
+                print(f"  {name:<18} FELL BACK: {rec['fallback_reason']}")
+
+    ok_runs = [r for r in runs if r["status"] == "ok"]
+    untagged = [r["workload"] for r in ok_runs if not r["reduction_levels"]]
+    mismatches = [r["workload"] for r in ok_runs if not r["tolerance_ok"]]
+    fallbacks = [r["workload"] for r in runs if r["status"] == "fallback"]
+    geomean = (
+        math.exp(sum(math.log(r["speedup"]) for r in ok_runs) / len(ok_runs))
+        if ok_runs else 0.0
+    )
+    gate_ok = bool(ok_runs) and not untagged and not mismatches and (
+        not fallbacks
+    ) and geomean >= SPEEDUP_GATE
+
+    report = {
+        "bench": "reductions",
+        "status": "ok" if gate_ok else "gate-failed",
+        "scale": os.environ.get("REPRO_BENCH_SCALE", "full"),
+        "compiler": compiler.version,
+        "speedup_gate": SPEEDUP_GATE,
+        "rtol": RTOL,
+        "geomean_speedup": round(geomean, 2),
+        "untagged": untagged,
+        "mismatches": mismatches,
+        "fallbacks": fallbacks,
+        "runs": runs,
+    }
+    with open(args.output, "w") as f:
+        json.dump(report, f, indent=2)
+
+    verdict = "PASS" if gate_ok else "FAIL"
+    print(
+        f"reductions: {verdict} — geomean speedup {geomean:.1f}x "
+        f"(gate {SPEEDUP_GATE}x) over {len(ok_runs)} workload(s)"
+        + (f"; untagged: {untagged}" if untagged else "")
+        + (f"; mismatches: {mismatches}" if mismatches else "")
+        + (f"; fallbacks: {fallbacks}" if fallbacks else "")
+    )
+    return 0 if gate_ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Render the model-vs-measured roofline table from bench artifacts.
+
+Collects the ``roofline`` records that ``benchmarks/exec_native.py`` and
+``benchmarks/exec_threads.py`` embed in their JSON reports — each one is a
+:class:`repro.machine.RooflineComparison` fed with a *measured* native
+execution time — and renders the EXPERIMENTS.md "predicted vs measured"
+markdown table from real numbers instead of analytic-only estimates.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/roofline_table.py \
+        [BENCH_exec.json BENCH_threads.json ...] [-o table.md]
+
+With no inputs it reads ``BENCH_exec.json`` and ``BENCH_threads.json``
+from the current directory, skipping whichever is absent.  Exits 0 with a
+note (and no table) when no roofline record exists anywhere — missing
+artifacts are a CI-environment fact, not an error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: bench name -> column label for the source of the measurement
+_SOURCES = {"exec_native": "native 1t", "exec_threads": "threads 1t"}
+
+
+def collect(paths: list[Path]) -> list[dict]:
+    """All roofline records across the given bench reports, annotated with
+    their source bench; silently skips missing files and skip-records."""
+    rows: list[dict] = []
+    for path in paths:
+        if not path.is_file():
+            continue
+        data = json.loads(path.read_text())
+        source = _SOURCES.get(data.get("bench"), data.get("bench", "?"))
+        for run in data.get("runs", ()):
+            roofline = run.get("roofline")
+            if not roofline:
+                continue
+            rows.append({**roofline, "source": source})
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    """The markdown table: one row per (workload, source) measurement."""
+    out = [
+        "| workload | mode | bound | source | predicted (s) | "
+        "measured (s) | measured/predicted |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for r in sorted(rows, key=lambda r: (r["workload"], r["source"])):
+        out.append(
+            f"| {r['workload']} | {r['mode']} | {r['bound']} | "
+            f"{r['source']} | {r['predicted_seconds']:.3e} | "
+            f"{r['measured_seconds']:.3e} | {r['ratio']:.2f} |"
+        )
+    return "\n".join(out) + "\n"
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("inputs", nargs="*",
+                    default=["BENCH_exec.json", "BENCH_threads.json"],
+                    help="bench report JSON files (default: BENCH_exec.json "
+                         "BENCH_threads.json)")
+    ap.add_argument("-o", "--output",
+                    help="write the markdown table here instead of stdout")
+    args = ap.parse_args(argv)
+
+    rows = collect([Path(p) for p in args.inputs])
+    if not rows:
+        print("roofline_table: no roofline records found in "
+              f"{args.inputs} (run exec_native/exec_threads first)",
+              file=sys.stderr)
+        return 0
+    table = render(rows)
+    if args.output:
+        Path(args.output).write_text(table)
+        print(f"# wrote {args.output} ({len(rows)} measurement(s))",
+              file=sys.stderr)
+    else:
+        print(table, end="")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -104,6 +104,16 @@ def build_parser() -> argparse.ArgumentParser:
     opt.add_argument("--threads", type=int, default=None, metavar="N",
                      help="OpenMP threads for native execution "
                           "(default: the OpenMP runtime's choice)")
+    opt.add_argument("--rar", action="store_true",
+                     help="feed read-after-read reuse into the exact "
+                          "scheduler's locality objective (never legality)")
+    opt.add_argument("--parallel-reductions",
+                     choices=("off", "privatize", "omp"), default="off",
+                     help="relax commutative-associative reduction "
+                          "self-dependences so the reduction dimension can "
+                          "run in parallel; omp also emits reduction "
+                          "clauses/atomics in C (verification drops to "
+                          "tolerance comparison)")
     opt.add_argument("--skeleton-dir", default=None, metavar="DIR",
                      help="structural skeleton store for cross-request "
                           "warm-started scheduling (sets "
@@ -122,6 +132,14 @@ def build_parser() -> argparse.ArgumentParser:
                      default="exact",
                      help="hyperplane search used to produce the schedule "
                           "under verification")
+    ver.add_argument("--rar", action="store_true",
+                     help="RAR locality objective during scheduling "
+                          "(see `repro opt --rar`)")
+    ver.add_argument("--parallel-reductions",
+                     choices=("off", "privatize", "omp"), default="off",
+                     help="relax reduction self-dependences during "
+                          "scheduling; the backend check then compares "
+                          "under tolerance instead of bitwise")
     ver.add_argument("--schedule", metavar="FILE",
                      help="verify this exported schedule (JSON from "
                           "`opt --emit schedule-json`) instead of running "
@@ -152,13 +170,14 @@ def build_parser() -> argparse.ArgumentParser:
                        help="keep only workloads/run-ids matching this glob "
                             "(repeatable)")
     suite.add_argument("--category",
-                       choices=("periodic", "polybench", "motivation", "all"),
+                       choices=("periodic", "polybench", "motivation", "reduction", "all"),
                        default="periodic",
                        help="workload category to run (default: periodic, "
                             "the paper's Table 2 suite)")
     suite.add_argument("--variants", default="plutoplus",
                        help="comma-separated option variants "
-                            "(plutoplus, pluto, notile, l2tile, quick, auto)")
+                            "(plutoplus, pluto, notile, l2tile, quick, "
+                            "auto, rar, redpar)")
     suite.add_argument("--backend", choices=("python", "c", "auto"),
                        default="python",
                        help="execution backend recorded on every spec; "
@@ -241,12 +260,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="keep only workloads/run-ids matching this glob "
                            "(repeatable)")
     warm.add_argument("--category",
-                      choices=("periodic", "polybench", "motivation", "all"),
+                      choices=("periodic", "polybench", "motivation", "reduction", "all"),
                       default="periodic",
                       help="workload category to warm (default: periodic)")
     warm.add_argument("--variants", default="plutoplus",
                       help="comma-separated option variants "
-                           "(plutoplus, pluto, notile, l2tile, quick, auto)")
+                           "(plutoplus, pluto, notile, l2tile, quick, "
+                           "auto, rar, redpar)")
     warm.add_argument("--quiet", action="store_true",
                       help="suppress per-spec progress lines")
 
@@ -278,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
     copt.add_argument("--scheduler", choices=("auto", "exact", "quick"),
                       default=None,
                       help="hyperplane search (daemon default: exact)")
+    copt.add_argument("--rar", action="store_true", default=None,
+                      help="RAR locality objective (daemon default: off)")
+    copt.add_argument("--parallel-reductions",
+                      choices=("off", "privatize", "omp"), default=None,
+                      help="reduction relaxation mode (daemon default: off; "
+                           "non-default modes get their own cache keys)")
     copt.add_argument("--backend", choices=("python", "c", "auto"),
                       default=None,
                       help="execution backend recorded in the resolved "
@@ -353,6 +379,8 @@ def _pipeline_options(args) -> PipelineOptions:
         deps_cache=not getattr(args, "no_deps_cache", False),
         scheduler=getattr(args, "scheduler", "exact"),
         backend=getattr(args, "backend", "python") or "python",
+        rar=getattr(args, "rar", False),
+        parallel_reductions=getattr(args, "parallel_reductions", "off"),
     )
 
 
@@ -449,7 +477,19 @@ def _cmd_verify(args) -> int:
         result = optimize(program, _pipeline_options_noemit(args))
         program = result.program  # post-ISS program actually scheduled
         schedule = result.schedule
-    ddg = DependenceGraph(program, compute_dependences(program))
+    deps = compute_dependences(program)
+    if getattr(args, "parallel_reductions", "off") != "off":
+        # The schedule was computed against the relaxed legality set; a
+        # reduction's self-dependences are discharged at emission (partial
+        # sums / reduction clauses), so legality is checked against the
+        # same relaxed set — the execution leg below covers the rest.
+        from repro.core.reductions import detect_reductions, relax_reduction_deps
+
+        deps, relaxed = relax_reduction_deps(deps, detect_reductions(program))
+        if relaxed:
+            print(f"# relaxed {len(relaxed)} reduction self-dependences "
+                  f"before legality checking", file=sys.stderr)
+    ddg = DependenceGraph(program, deps)
     report = verify_schedule(schedule, ddg)
     print(report)
     rc = 0 if report.legal else 1
@@ -468,18 +508,29 @@ def _verify_backend(args, result, program) -> int:
               "schedule to execute", file=sys.stderr)
         return 0
     params = _exec_params(args, program)
+    # Parallelized reductions reassociate floating-point accumulation, so
+    # bitwise identity with the Python kernel is unattainable by design;
+    # the contract drops to tolerance comparison (docs/API.md).
+    tol: dict = {}
+    if result.tiled.reduction_levels():
+        tol = {"rtol": 1e-9, "atol": 1e-11}
     check = backend_compat_check(
-        result.tiled, params, ExecutionOptions(backend=args.backend)
+        result.tiled, params, ExecutionOptions(backend=args.backend), **tol
     )
     if not check.checked:
         print(f"backend {args.backend}: skipped "
               f"({check.fallback_reason})")
         return 0
     if check.ok:
-        print(f"backend {check.backend}: bit-compatible with python at "
-              f"{params} (max {check.max_ulps} ulps)")
+        if check.mode == "tolerance":
+            print(f"backend {check.backend}: agrees with python at {params} "
+                  f"under tolerance (parallel reductions; "
+                  f"abs diff {check.max_abs_diff:.3e})")
+        else:
+            print(f"backend {check.backend}: bit-compatible with python at "
+                  f"{params} (max {check.max_ulps} ulps)")
         return 0
-    print(f"backend {check.backend}: MISMATCH on "
+    print(f"backend {check.backend}: MISMATCH [{check.mode}] on "
           f"{check.mismatched_arrays} at {params} "
           f"(max {check.max_ulps} ulps, abs diff {check.max_abs_diff:.3e})")
     return 1
@@ -506,6 +557,8 @@ def _pipeline_options_noemit(args) -> PipelineOptions:
         iss=getattr(args, "iss", False),
         diamond=getattr(args, "diamond", False),
         scheduler=getattr(args, "scheduler", "exact"),
+        rar=getattr(args, "rar", False),
+        parallel_reductions=getattr(args, "parallel_reductions", "off"),
     )
 
 
@@ -736,6 +789,10 @@ def _client_overrides(args) -> dict:
         overrides["scheduler"] = args.scheduler
     if getattr(args, "backend", None) is not None:
         overrides["backend"] = args.backend
+    if getattr(args, "rar", None):
+        overrides["rar"] = True
+    if getattr(args, "parallel_reductions", None) is not None:
+        overrides["parallel_reductions"] = args.parallel_reductions
     return overrides
 
 

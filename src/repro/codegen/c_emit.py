@@ -35,6 +35,7 @@ from repro.codegen.emit_common import (
     render_upper,
 )
 from repro.codegen.scan import build_scan_systems, z_name
+from repro.core.reductions import REDUCTION_IDENTITY, reduction_split
 from repro.core.tiling import TiledSchedule
 from repro.frontend.ir import Program, Statement
 
@@ -279,6 +280,13 @@ class _CEmitter:
         self.systems = {s.stmt.name: s for s in build_scan_systems(tsched)}
         self.ranks = array_ranks(self.program) if kernel else {}
         self.lines: list[str] = []
+        #: statements rewritten into a reduction-clause partial sum:
+        #: stmt name -> (accumulator variable, combine op)
+        self._privatized: dict[str, tuple[str, str]] = {}
+        #: statements whose update must run under ``#pragma omp atomic``
+        self._atomic: set[str] = set()
+        #: nesting depth of emitted ``parallel for`` regions
+        self._par_depth = 0
 
     def line(self, indent: int, text: str) -> None:
         self.lines.append("  " * indent + text)
@@ -373,14 +381,110 @@ class _CEmitter:
             )
         lb = merge_bounds(lowers, "min", "c")
         ub = merge_bounds(uppers, "max", "c")
-        if row.parallel:
+        loop = f"for ({self.int_t} {zv} = {lb}; {zv} <= {ub}; {zv}++) {{"
+        if row.parallel and row.reduction:
+            if self._emit_reduction_loop(row, level, stmts, indent, loop):
+                return
+            # The relaxed dependences cannot be discharged here (wrong mode,
+            # nested in a parallel region, unsplittable body): the level's
+            # parallelism rests solely on relaxation, so run it sequentially
+            # rather than emit a racy pragma.
+            self.line(indent, loop)
+        elif row.parallel:
             self.line(indent, "#pragma omp parallel for")
-        self.line(
-            indent,
-            f"for ({self.int_t} {zv} = {lb}; {zv} <= {ub}; {zv}++) {{",
-        )
+            self.line(indent, loop)
+            self._par_depth += 1
+            try:
+                self.emit_level(level + 1, stmts, indent + 1)
+            finally:
+                self._par_depth -= 1
+            self.line(indent, "}")
+            return
+        else:
+            self.line(indent, loop)
         self.emit_level(level + 1, stmts, indent + 1)
         self.line(indent, "}")
+
+    def _emit_reduction_loop(
+        self, row, level: int, stmts, indent: int, loop: str
+    ) -> bool:
+        """Emit a reduction-tagged parallel loop, discharging the relaxed
+        self-dependences; returns False when no safe discharge exists and
+        the caller must emit the level as a plain sequential loop.
+
+        Kernel mode, ``mode == "omp"``, outside any parallel region:
+
+        * single-statement subtree with a scalar (rank-0) accumulator →
+          ``reduction(op:__redN)`` clause over a local partial sum,
+          combined into the cell once after the loop;
+        * otherwise → ``parallel for`` with every tagged statement's
+          update under ``#pragma omp atomic``.
+
+        Display mode renders a comment instead of a pragma — the textual C
+        body races as written, and unlike the kernel path nothing rewrites
+        it, so advertising ``parallel for`` there would be a lie.
+        """
+        if not self.kernel:
+            arrs = ", ".join(sorted({t["array"] for t in row.reduction}))
+            self.line(
+                indent,
+                f"/* parallel reduction ({arrs}): discharged by the native "
+                f"kernel via reduction clause / atomics */",
+            )
+            self.line(indent, loop)
+            self.emit_level(level + 1, stmts, indent + 1)
+            self.line(indent, "}")
+            return True
+        mode = row.reduction[0].get("mode", "off")
+        if mode != "omp" or self._par_depth > 0:
+            return False
+        tagged = {t["stmt"] for t in row.reduction}
+        splits: dict[str, tuple[Statement, object]] = {}
+        for s in stmts:
+            if s.name not in tagged:
+                continue
+            if s.name in self._privatized or s.name in self._atomic:
+                return False
+            sp = reduction_split(s.body)
+            if sp is None:
+                return False
+            splits[s.name] = (s, sp)
+        if not splits:
+            return False
+        if len(stmts) == 1 and len(splits) == 1:
+            stmt, split = next(iter(splits.values()))
+            if len(stmt.writes) == 1 and not stmt.writes[0].map.exprs:
+                acc = f"__red{level}"
+                self.line(
+                    indent, f"double {acc} = {REDUCTION_IDENTITY[split.op]};"
+                )
+                self.line(
+                    indent,
+                    f"#pragma omp parallel for reduction({split.op}:{acc})",
+                )
+                self.line(indent, loop)
+                self._privatized[stmt.name] = (acc, split.op)
+                self._par_depth += 1
+                try:
+                    self.emit_level(level + 1, stmts, indent + 1)
+                finally:
+                    self._par_depth -= 1
+                    del self._privatized[stmt.name]
+                self.line(indent, "}")
+                target = _expr_c(split.target, self.ranks)
+                self.line(indent, f"{target} = {target} {split.op} {acc};")
+                return True
+        self.line(indent, "#pragma omp parallel for")
+        self.line(indent, loop)
+        self._par_depth += 1
+        self._atomic.update(splits)
+        try:
+            self.emit_level(level + 1, stmts, indent + 1)
+        finally:
+            self._par_depth -= 1
+            self._atomic.difference_update(splits)
+        self.line(indent, "}")
+        return True
 
     def emit_statement(self, stmt: Statement, indent: int) -> None:
         sys = self.systems[stmt.name]
@@ -407,7 +511,23 @@ class _CEmitter:
             cur += 1
             closes += 1
         if self.kernel:
-            self.line(cur, _c_body(stmt, self.ranks))
+            priv = self._privatized.get(stmt.name)
+            if priv is not None:
+                acc, op = priv
+                split = reduction_split(stmt.body)
+                self.line(
+                    cur, f"{acc} {op}= ({_expr_c(split.update, self.ranks)});"
+                )
+            elif stmt.name in self._atomic:
+                split = reduction_split(stmt.body)
+                lhs = _expr_c(split.target, self.ranks)
+                self.line(cur, "#pragma omp atomic")
+                self.line(
+                    cur,
+                    f"{lhs} {split.op}= ({_expr_c(split.update, self.ranks)});",
+                )
+            else:
+                self.line(cur, _c_body(stmt, self.ranks))
         else:
             body = stmt.text or stmt.body
             self.line(

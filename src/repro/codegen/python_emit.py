@@ -11,6 +11,7 @@ dependence-respecting order.
 
 from __future__ import annotations
 
+import ast
 import math
 import warnings
 from dataclasses import dataclass, field
@@ -18,6 +19,7 @@ from typing import Callable, Optional, Sequence
 
 from repro.codegen.emit_common import merge_bounds, render_lower, render_upper
 from repro.codegen.scan import ScanSystem, build_scan_systems, z_name
+from repro.core.reductions import REDUCTION_IDENTITY, reduction_split
 from repro.core.tiling import TiledSchedule
 from repro.frontend.ir import Statement
 
@@ -114,6 +116,9 @@ class _Emitter:
             sys.stmt.name: sys for sys in build_scan_systems(tsched)
         }
         self.lines: list[str] = []
+        #: statements currently rewritten into a privatized partial sum:
+        #: stmt name -> (accumulator variable, combine op)
+        self._privatized: dict[str, tuple[str, str]] = {}
 
     def line(self, indent: int, text: str) -> None:
         self.lines.append("    " * indent + text)
@@ -162,9 +167,61 @@ class _Emitter:
         # The loop covers the union: min of the lower bounds, max of uppers.
         lb = merge_bounds(lowers, "min")
         ub = merge_bounds(uppers, "max")
-        tag = "  # parallel" if row.parallel else ""
+        plan = self._reduction_plan(row, stmts)
+        if plan is not None:
+            # Privatized partial-sum form: seed the accumulator with the
+            # operator identity, fold the update expression inside the
+            # loop, and combine into the written cell once afterwards.
+            # Deliberately reassociates the accumulation — that is the
+            # semantics parallel execution would have, which keeps this
+            # backend an honest reference for tolerance verification.
+            stmt, split = plan
+            acc = f"__red{level}"
+            self.line(indent, f"{acc} = {REDUCTION_IDENTITY[split.op]}")
+            self.line(
+                indent,
+                f"for {z_name(level)} in range({lb}, ({ub}) + 1):"
+                f"  # parallel reduction",
+            )
+            self._privatized[stmt.name] = (acc, split.op)
+            try:
+                self.emit_level(level + 1, stmts, indent + 1)
+            finally:
+                del self._privatized[stmt.name]
+            target = ast.unparse(split.target)
+            self.line(indent, f"{target} = {target} {split.op} {acc}")
+            return
+        if row.reduction:
+            tag = "  # parallel (reduction)" if row.parallel else ""
+        else:
+            tag = "  # parallel" if row.parallel else ""
         self.line(indent, f"for {z_name(level)} in range({lb}, ({ub}) + 1):{tag}")
         self.emit_level(level + 1, stmts, indent + 1)
+
+    def _reduction_plan(self, row, stmts: list[Statement]):
+        """Privatization decision for a reduction-tagged loop row.
+
+        Applies only in the clean case: the subtree scans exactly one
+        statement, that statement is tagged on this row, it is not already
+        privatized by an enclosing reduction loop, and its accumulator is a
+        scalar (rank-0 write) — so the combine after the loop targets a
+        location provably invariant across the loop.  Array-cell
+        accumulators keep their original body (serial Python execution is
+        correct as-is); the loop is still annotated as a reduction.
+        """
+        if not row.reduction or row.parallel is not True or len(stmts) != 1:
+            return None
+        stmt = stmts[0]
+        if stmt.name in self._privatized:
+            return None
+        if not any(tag["stmt"] == stmt.name for tag in row.reduction):
+            return None
+        if len(stmt.writes) != 1 or stmt.writes[0].map.exprs:
+            return None  # array-cell accumulator: no safe hoist point
+        split = reduction_split(stmt.body)
+        if split is None:
+            return None
+        return stmt, split
 
     def emit_statement(self, stmt: Statement, indent: int) -> None:
         sys = self.systems[stmt.name]
@@ -197,7 +254,15 @@ class _Emitter:
             body_indent = cur
         else:
             body_indent = cur
-        self.line(body_indent, stmt.body)
+        privatized = self._privatized.get(stmt.name)
+        if privatized is not None:
+            acc, op = privatized
+            split = reduction_split(stmt.body)
+            self.line(
+                body_indent, f"{acc} = {acc} {op} ({ast.unparse(split.update)})"
+            )
+        else:
+            self.line(body_indent, stmt.body)
         if self.trace:
             vec = ", ".join(stmt.space.dims)
             vec = f"({vec},)" if stmt.space.dims else "()"

@@ -34,19 +34,31 @@ def _try_max(rem: BasicSet, expr):
         return _UNBOUNDED
 
 
-def mark_parallelism(sched: Schedule, ddg: DependenceGraph) -> None:
+def mark_parallelism(
+    sched: Schedule, ddg: DependenceGraph, relaxed=()
+) -> dict[int, list]:
     """Fill ``row.parallel`` for every loop level of ``sched``.
 
     Works on the dependences' full polyhedra, re-deriving the ordering state
     level by level (satisfaction levels recorded by the scheduler are not
     reused, so this pass also works on hand-built schedules).
+
+    ``relaxed`` — relaxed reduction self-dependences excluded from the DDG
+    (:mod:`repro.core.reductions`) — are tracked with the same level-by-level
+    machinery but never influence ``row.parallel``; the return value maps
+    each level index to the relaxed dependences it would carry, so the
+    pipeline can tag reduction-parallel rows for the emitters.  Empty when
+    ``relaxed`` is empty (the default path).
     """
     remaining: dict[int, Optional[BasicSet]] = {
         id(d): d.polyhedron for d in ddg.deps
     }
-    for row in sched.rows:
+    remaining.update({id(d): d.polyhedron for d in relaxed})
+    relaxed_ids = {id(d) for d in relaxed}
+    relaxed_carried: dict[int, list] = {}
+    for level, row in enumerate(sched.rows):
         if row.kind == "scalar":
-            for d in ddg.deps:
+            for d in list(ddg.deps) + list(relaxed):
                 rem = remaining.get(id(d))
                 if rem is None:
                     continue
@@ -58,8 +70,9 @@ def mark_parallelism(sched: Schedule, ddg: DependenceGraph) -> None:
             continue
 
         carried = False
-        for d in ddg.deps:
+        for d in list(ddg.deps) + list(relaxed):
             key = id(d)
+            is_relaxed = key in relaxed_ids
             rem = remaining.get(key)
             if rem is None:
                 continue
@@ -74,18 +87,28 @@ def mark_parallelism(sched: Schedule, ddg: DependenceGraph) -> None:
                 # Negative distances on unordered pairs only arise for
                 # hand-built (possibly illegal) schedules; the level
                 # certainly reorders/carries the dependence.
-                carried = True
+                if is_relaxed:
+                    relaxed_carried.setdefault(level, []).append(d)
+                else:
+                    carried = True
                 continue
             if mn >= 1:
-                carried = True
+                if is_relaxed:
+                    relaxed_carried.setdefault(level, []).append(d)
+                else:
+                    carried = True
                 remaining[key] = None
                 continue
             mx = _try_max(rem, expr)
             if mx is _UNBOUNDED or (mx is not None and mx >= 1):
                 # Mixed: some pairs strictly ordered here, some not.
-                carried = True
+                if is_relaxed:
+                    relaxed_carried.setdefault(level, []).append(d)
+                else:
+                    carried = True
                 zero = rem.copy()
                 zero.add(Constraint(expr, equality=True))
                 remaining[key] = None if zero.is_empty() else zero
             # else distance uniformly zero: not carried, remaining unchanged
         row.parallel = not carried
+    return relaxed_carried

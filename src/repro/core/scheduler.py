@@ -135,10 +135,16 @@ class SchedulerStats:
     #: (record existed but some level had to be solved cold)
     structural_warm_start: int = 0
     structural_path: Optional[str] = None
+    #: reduction relaxation (``repro.core.reductions``): accumulation
+    #: statements detected in the program and the self-dependences dropped
+    #: from the legality set before scheduling.  Both stay zero unless
+    #: ``PipelineOptions.parallel_reductions`` is enabled.
+    reductions_detected: int = 0
+    reductions_relaxed: int = 0
 
     def as_dict(self) -> dict:
         """JSON-serializable form (suite manifests, ``--stats`` plumbing)."""
-        return {
+        out = {
             "ilp_solves": self.ilp_solves,
             "ilp_variables_max": self.ilp_variables_max,
             "hyperplanes_found": self.hyperplanes_found,
@@ -157,6 +163,12 @@ class SchedulerStats:
             "structural_warm_start": self.structural_warm_start,
             "structural_path": self.structural_path,
         }
+        # Omitted at zero so stats recorded with the reductions subsystem
+        # off stay byte-identical to the pre-reduction format.
+        if self.reductions_detected or self.reductions_relaxed:
+            out["reductions_detected"] = self.reductions_detected
+            out["reductions_relaxed"] = self.reductions_relaxed
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SchedulerStats":
@@ -181,6 +193,9 @@ class SchedulerStats:
             # structural warm-start fields postdate the format as well
             structural_warm_start=data.get("structural_warm_start", 0),
             structural_path=data.get("structural_path"),
+            # reduction-relaxation fields postdate the format too
+            reductions_detected=data.get("reductions_detected", 0),
+            reductions_relaxed=data.get("reductions_relaxed", 0),
         )
 
 
@@ -191,11 +206,19 @@ class PlutoScheduler:
         ddg: DependenceGraph,
         options: Optional[SchedulerOptions] = None,
         warm=None,
+        rar: Sequence[Dependence] = (),
     ):
         self.program = program
         self.ddg = ddg
         self.options = options or SchedulerOptions()
         self.stats = SchedulerStats()
+        # RAR (read-reuse) relations: locality signal only.  Their Farkas
+        # *bounding* rows join every per-band model so the lexmin objective
+        # pulls read-read reuse distances down alongside the real
+        # dependence distances; their legality rows are never generated, so
+        # they cannot constrain which schedules are feasible.
+        self.rar = list(rar)
+        self._rar_bound_cache: dict[int, list] = {}
         # Cross-request replay context (repro.core.skeleton.WarmStart).
         # Disabled under REPRO_EXACT_LEGACY: the seed-reproduction mode
         # must not take any fast path, even a provably identical one.
@@ -401,8 +424,18 @@ class PlutoScheduler:
             for con in legal + bound:
                 self._add_con(model, seen, con)
 
+        for dep in self.rar:
+            for con in self._rar_bounds(dep):
+                self._add_con(model, seen, con)
+
         model.set_objective_order(order)
         return model, seen
+
+    def _rar_bounds(self, dep: Dependence) -> list:
+        key = id(dep)
+        if key not in self._rar_bound_cache:
+            self._rar_bound_cache[key] = bounding_constraints(dep)
+        return self._rar_bound_cache[key]
 
     def build_model(
         self, sched: Schedule, active: Sequence[Dependence]

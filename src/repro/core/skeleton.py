@@ -87,6 +87,13 @@ SCHEDULE_RELEVANT_OPTIONS = (
     "fuse",
     "iss",
     "diamond",
+    # RAR bounding rows change the per-level model without changing the
+    # active dependence set, and reduction relaxation changes the set
+    # itself — records from either knob must never be replayed for the
+    # other.  Both are omitted from as_dict() at their defaults, so every
+    # pre-existing fingerprint is unchanged.
+    "rar",
+    "parallel_reductions",
 )
 
 #: puts between opportunistic orphaned-tmp sweeps (see SkeletonStore.merge)

@@ -50,6 +50,9 @@ class TiledRow:
     tile_size: Optional[int] = None
     parallel: Optional[bool] = None
     band_role: str = ""            # "tile" | "point" | "" for bookkeeping
+    #: relaxed-reduction tags carried over from the source ScheduleRow
+    #: (None unless parallel_reductions is enabled; see ScheduleRow)
+    reduction: Optional[list] = None
 
     def expr_for(self, stmt) -> object:
         name = stmt if isinstance(stmt, str) else stmt.name
@@ -75,10 +78,16 @@ class TiledSchedule:
     def tile_levels(self) -> list[int]:
         return [i for i, r in enumerate(self.rows) if r.kind == "tile"]
 
+    def reduction_levels(self) -> list[int]:
+        """Row indices whose parallelism rests on reduction relaxation."""
+        return [i for i, r in enumerate(self.rows) if r.reduction]
+
     # -- serialization ----------------------------------------------------
 
     def to_dict(self) -> dict:
         """JSON-serializable form, the :meth:`Schedule.to_dict` twin."""
+        # "reduction" appears only on tagged rows (the ScheduleRow rule):
+        # default-path records keep their exact historical byte shape.
         return {
             "program": self.program.name,
             "rows": [
@@ -91,6 +100,11 @@ class TiledSchedule:
                         name: list(expr.coeffs)
                         for name, expr in row.exprs.items()
                     },
+                    **(
+                        {"reduction": row.reduction}
+                        if row.reduction
+                        else {}
+                    ),
                 }
                 for row in self.rows
             ],
@@ -133,6 +147,7 @@ class TiledSchedule:
                     tile_size=rd["tile_size"],
                     parallel=rd["parallel"],
                     band_role=rd["band_role"],
+                    reduction=rd.get("reduction"),
                 )
             )
         out.bands = [
@@ -146,7 +161,12 @@ class TiledSchedule:
 
 
 def _as_tiled_row(row: ScheduleRow) -> TiledRow:
-    return TiledRow(row.kind, dict(row.exprs), parallel=row.parallel)
+    return TiledRow(
+        row.kind,
+        dict(row.exprs),
+        parallel=row.parallel,
+        reduction=getattr(row, "reduction", None),
+    )
 
 
 def tile_schedule(

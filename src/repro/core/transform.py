@@ -25,12 +25,18 @@ class ScheduleRow:
     SCC-ordering dimension.  ``exprs`` maps statement name to the level's
     affine expression over that statement's space (constant for scalars).
     ``parallel`` is filled by the property pass: True when the loop carries no
-    dependence.
+    dependence.  ``reduction`` (pipeline-filled, ``None`` unless
+    ``parallel_reductions`` is enabled) lists the relaxed reduction
+    dependences this level would otherwise carry, as
+    ``{"stmt", "array", "op", "mode"}`` tags — the emitters use it to
+    discharge the relaxation (privatized partial sums / ``reduction(..)``
+    clauses).
     """
 
     kind: str
     exprs: dict[str, AffExpr]
     parallel: Optional[bool] = None
+    reduction: Optional[list] = None
 
     def expr_for(self, stmt: Statement | str) -> AffExpr:
         name = stmt if isinstance(stmt, str) else stmt.name
@@ -137,6 +143,9 @@ class Schedule:
 
     def to_dict(self) -> dict:
         """JSON-serializable form (coefficients per statement per level)."""
+        # The "reduction" key appears only on tagged rows: schedules built
+        # with parallel_reductions off (every pre-reduction record) keep
+        # their exact historical byte shape.
         return {
             "program": self.program.name,
             "rows": [
@@ -147,6 +156,11 @@ class Schedule:
                         name: list(expr.coeffs)
                         for name, expr in row.exprs.items()
                     },
+                    **(
+                        {"reduction": row.reduction}
+                        if row.reduction
+                        else {}
+                    ),
                 }
                 for row in self.rows
             ],
@@ -175,7 +189,12 @@ class Schedule:
             for name, coeffs in row_data["exprs"].items():
                 stmt = program.statement(name)
                 exprs[name] = AffExpr(stmt.space, coeffs)
-            row = ScheduleRow(row_data["kind"], exprs, row_data.get("parallel"))
+            row = ScheduleRow(
+                row_data["kind"],
+                exprs,
+                row_data.get("parallel"),
+                reduction=row_data.get("reduction"),
+            )
             sched.add_row(row)
         for b in data.get("bands", []):
             sched.bands.append(

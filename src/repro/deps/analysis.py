@@ -52,6 +52,10 @@ class DepStats:
     fm_saved: int = 0
     cache_evictions: int = 0
     analysis_seconds: float = 0.0
+    #: RAR (read-after-read) relations found by :mod:`repro.deps.rar`;
+    #: counted separately from ``deps_found`` because they never enter the
+    #: legality set.  Zero unless ``PipelineOptions.rar`` is enabled.
+    rar_deps: int = 0
 
     @property
     def lookups(self) -> int:
@@ -66,13 +70,14 @@ class DepStats:
         self.fm_saved += other.fm_saved
         self.cache_evictions += other.cache_evictions
         self.analysis_seconds += other.analysis_seconds
+        self.rar_deps += other.rar_deps
 
     @classmethod
     def from_dict(cls, data: dict) -> "DepStats":
         return cls(**{k: data[k] for k in cls.__dataclass_fields__ if k in data})
 
     def as_dict(self) -> dict[str, float]:
-        return {
+        out = {
             "pairs_tested": self.pairs_tested,
             "deps_found": self.deps_found,
             "fast_rejects": self.fast_rejects,
@@ -82,6 +87,11 @@ class DepStats:
             "cache_evictions": self.cache_evictions,
             "analysis_seconds": self.analysis_seconds,
         }
+        # Omitted at zero so records written with RAR off (including every
+        # pre-RAR manifest) keep their exact historical shape.
+        if self.rar_deps:
+            out["rar_deps"] = self.rar_deps
+        return out
 
 
 @dataclass
@@ -96,7 +106,7 @@ class Dependence:
 
     source: Statement
     target: Statement
-    kind: str                      # "raw" | "war" | "waw"
+    kind: str                      # "raw" | "war" | "waw" | "rar" (locality-only)
     array: str
     polyhedron: BasicSet
     src_rename: dict[str, str]

@@ -153,4 +153,17 @@ def to_python(body: str, space: Space, arrays: Sequence[str]) -> str:
         return out
 
     py_op = f"{op}=" if op else "="
-    return f"{conv(lhs)} {py_op} {conv(rhs)}"
+    out_lhs, out_rhs = conv(lhs), conv(rhs)
+    m = _NAME.fullmatch(lhs.strip())
+    if m and m.group(0) not in space.names and m.group(0) not in KNOWN_FUNCTIONS:
+        # A *written* scalar must go through 0-d indexing — a bare-name
+        # assignment would rebind the kernel's local and the store would
+        # never reach the caller's array.  Read-only scalars stay bare
+        # (0-d ndarray arithmetic reads fine, and historical bodies —
+        # hence cache keys — must not change spelling).
+        name = m.group(0)
+        out_lhs = f"{name}[()]"
+        out_rhs = re.sub(
+            rf"\b{re.escape(name)}\b(?!\s*[\[\(])", f"{name}[()]", out_rhs
+        )
+    return f"{out_lhs} {py_op} {out_rhs}"

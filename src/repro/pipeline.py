@@ -129,6 +129,21 @@ class PipelineOptions:
     #: execution-time knob — the schedule and generated sources are
     #: identical across backends.
     backend: str = "python"
+    #: read-after-read reuse as a locality signal (``repro.deps.rar``):
+    #: RAR relations join the exact scheduler's bounding objective — and
+    #: only the objective, never legality — steering between equally-legal
+    #: schedules.  Quick/diamond searches ignore it (they have no distance
+    #: objective to feed).
+    rar: bool = False
+    #: reduction handling (``repro.core.reductions``): "off" keeps the
+    #: exact dependence model; "privatize" and "omp" both relax
+    #: commutative-associative self-dependences so the reduction dimension
+    #: can be marked parallel, and differ at emission — "privatize" keeps
+    #: native loops sequential (Python partial sums only), "omp" also
+    #: emits ``#pragma omp .. reduction(..)``/atomic C.  Either value
+    #: trades bitwise reproducibility for parallelism: verification drops
+    #: to tolerance comparison (FP reassociation).
+    parallel_reductions: str = "off"  # "off" | "privatize" | "omp"
 
     def __post_init__(self) -> None:
         """Validate up front — bad values otherwise surface as cryptic
@@ -160,6 +175,13 @@ class PipelineOptions:
                 f"unknown backend {self.backend!r} "
                 f"(expected one of {', '.join(map(repr, BACKENDS))})"
             )
+        if not isinstance(self.rar, bool):
+            raise ValueError(f"rar must be a bool, got {self.rar!r}")
+        if self.parallel_reductions not in ("off", "privatize", "omp"):
+            raise ValueError(
+                f"unknown parallel_reductions {self.parallel_reductions!r} "
+                f"(expected 'off', 'privatize', or 'omp')"
+            )
 
     def scheduler_options(self) -> SchedulerOptions:
         return SchedulerOptions(
@@ -175,11 +197,17 @@ class PipelineOptions:
         ``backend`` is omitted at its default ("python") so every cache key
         and manifest written before the knob existed stays bit-identical;
         a non-default backend *is* folded in, giving backend-specific
-        server cache entries their own keys.
+        server cache entries their own keys.  ``rar`` and
+        ``parallel_reductions`` follow the same rule: absent at their
+        defaults, folded in when enabled.
         """
         d = dataclasses.asdict(self)
         if d.get("backend") == "python":
             del d["backend"]
+        if d.get("rar") is False:
+            del d["rar"]
+        if d.get("parallel_reductions") == "off":
+            del d["parallel_reductions"]
         return d
 
     @classmethod
@@ -471,6 +499,30 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
             deps = compute_dependences(work, dep_stats)
             timing.dependence_analysis = dep_stats.analysis_seconds
 
+    # Reduction relaxation: detected accumulation statements give up their
+    # self-dependences *before* the DDG is built, so every scheduling path
+    # (exact, quick, diamond) sees the relaxed legality set and the
+    # parallelism pass can prove the reduction dimension parallel.  The
+    # relaxed dependences are re-checked after scheduling to tag the rows
+    # whose parallelism rests on the relaxation (the emitters discharge it).
+    reductions: list = []
+    relaxed: list = []
+    if options.parallel_reductions != "off":
+        from repro.core.reductions import detect_reductions, relax_reduction_deps
+
+        reductions = detect_reductions(work)
+        deps, relaxed = relax_reduction_deps(deps, reductions)
+
+    # RAR reuse relations: computed on the scheduled (post-ISS) program,
+    # handed to the exact scheduler as objective-only rows — never to the
+    # DDG, so legality, SCC cuts, and parallelism marking are untouched.
+    rar_deps: list = []
+    if options.rar:
+        from repro.deps.rar import compute_rar_dependences
+
+        rar_deps = compute_rar_dependences(work, dep_stats)
+        timing.dependence_analysis = dep_stats.analysis_seconds
+
     ddg = DependenceGraph(work, deps, stats=dep_stats)
     sched_opts = options.scheduler_options()
 
@@ -478,6 +530,8 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
     used_diamond = False
     stats = SchedulerStats()
     stats.scheduler_mode = options.scheduler
+    stats.reductions_detected = len(reductions)
+    stats.reductions_relaxed = len(relaxed)
 
     # Cross-request structural warm-start (repro.core.skeleton): when a
     # skeleton store is configured, load any record for this request's
@@ -524,7 +578,9 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
             )
             used_diamond = schedule is not None
         if schedule is None:
-            scheduler = PlutoScheduler(work, ddg, sched_opts, warm=warm)
+            scheduler = PlutoScheduler(
+                work, ddg, sched_opts, warm=warm, rar=rar_deps
+            )
             scheduler.stats = stats  # accumulate alongside any diamond attempt
             schedule = scheduler.schedule()
     from repro.core.quick import fusion_groups_of
@@ -555,7 +611,13 @@ def _optimize(program: Program, options: PipelineOptions) -> OptimizationResult:
             )
 
     t0 = time.perf_counter()
-    mark_parallelism(schedule, ddg)
+    red_carried = mark_parallelism(schedule, ddg, relaxed=relaxed)
+    if relaxed:
+        from repro.core.reductions import tag_reduction_rows
+
+        tag_reduction_rows(
+            schedule, red_carried, reductions, options.parallel_reductions
+        )
     if options.tile:
         tiled = tile_schedule(
             schedule,

@@ -141,13 +141,18 @@ def format_suite_report(records: Sequence[Mapping], wall_seconds: Optional[float
                 "yes" if p["used_iss"] else "no",
                 "yes" if p["used_diamond"] else "no",
                 p.get("scheduler_path") or "-",  # pre-quick records lack it
+                # PR-10 knobs: absent from older (and all-defaults) records
+                "yes" if p.get("rar") else "-",
+                (
+                    ",".join(str(i) for i in p["reduction_levels"]) or "none"
+                ) if p.get("parallel_reductions") else "-",
             ])
         blocks.append("")
         blocks.append("schedule properties:")
         blocks.append(
             format_table(
                 ["run", "depth", "bands", "bandw", "par-levels",
-                 "concur", "iss", "diamond", "sched"],
+                 "concur", "iss", "diamond", "sched", "rar", "redpar"],
                 prop_rows,
             )
         )

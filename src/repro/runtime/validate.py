@@ -93,6 +93,10 @@ class BackendCompatReport:
     says why.  When checked, ``ok`` requires every array to agree within
     ``max_ulps_allowed`` ULPs (0, the default, is bitwise identity —
     achievable because kernels compile with ``-ffp-contract=off``).
+    ``mode`` records which contract was applied: "bitwise"/"ulp" for the
+    ULP comparison, "tolerance" when a relative tolerance was requested —
+    the contract for parallelized reductions, whose partial-sum
+    reassociation makes bitwise identity unattainable (see docs/API.md).
     """
 
     ok: bool
@@ -103,6 +107,7 @@ class BackendCompatReport:
     max_abs_diff: float = 0.0
     mismatched_arrays: list[str] = field(default_factory=list)
     params: dict[str, int] = field(default_factory=dict)
+    mode: str = "bitwise"
 
     def __bool__(self) -> bool:
         return self.ok
@@ -115,18 +120,26 @@ def backend_compat_check(
     seed: int = 0,
     max_ulps: int = 0,
     arrays: Optional[dict] = None,
+    rtol: float = 0.0,
+    atol: float = 0.0,
 ) -> BackendCompatReport:
     """Run ``tsched`` on both backends and compare outputs exactly.
 
     The execution-level analogue of :func:`validate_transformation`: the
     Python kernel is the reference, the backend ``exec_options`` selects is
     the candidate, and agreement is bitwise (``max_ulps=0``) or
-    ULP-bounded.  Falls back gracefully — a missing compiler yields
-    ``checked=False``, not a failure.
+    ULP-bounded.  A nonzero ``rtol``/``atol`` switches to the *tolerance*
+    contract (``np.allclose``) instead — required when the schedule carries
+    parallelized reductions, because ``reduction(..)`` clauses and
+    privatized partial sums reassociate floating-point additions and
+    bitwise identity no longer holds.  Falls back gracefully — a missing
+    compiler yields ``checked=False``, not a failure.
     """
     from repro.exec import ExecStats, ExecutionOptions, compile_kernel
 
     exec_options = exec_options or ExecutionOptions(backend="c")
+    tolerance = bool(rtol or atol)
+    mode = "tolerance" if tolerance else ("bitwise" if max_ulps == 0 else "ulp")
     cstats = ExecStats()
     kernel = compile_kernel(tsched, exec_options, cstats)
     if kernel.backend == "python":
@@ -136,6 +149,7 @@ def backend_compat_check(
             backend="python",
             fallback_reason=cstats.fallback_reason,
             params=dict(params),
+            mode=mode,
         )
     base = arrays if arrays is not None else random_arrays(
         tsched.program, params, seed=seed
@@ -156,7 +170,10 @@ def backend_compat_check(
         worst_ulp = max(worst_ulp, ulps)
         if a.size:
             max_diff = max(max_diff, float(np.max(np.abs(a - b))))
-        if ulps > max_ulps:
+        if tolerance:
+            if not np.allclose(a, b, rtol=rtol, atol=atol):
+                mismatched.append(name)
+        elif ulps > max_ulps:
             mismatched.append(name)
     return BackendCompatReport(
         ok=not mismatched,
@@ -166,6 +183,7 @@ def backend_compat_check(
         max_abs_diff=max_diff,
         mismatched_arrays=mismatched,
         params=dict(params),
+        mode=mode,
     )
 
 

@@ -555,12 +555,19 @@ class Daemon:
         # One computation, counted once: which scheduler path won, why the
         # quick heuristic bowed out (if it did), and how the structural
         # skeleton store fared (hit / miss / fallback; None when disabled).
-        sched_stats = json.loads(result_text).get("scheduler_stats") or {}
+        data = json.loads(result_text)
+        sched_stats = data.get("scheduler_stats") or {}
         self.metrics.count_scheduler(
             sched_stats.get("scheduler_path"),
             sched_stats.get("fallback_reason"),
         )
         self.metrics.count_structural(sched_stats.get("structural_path"))
+        # "reduction" appears on tiled rows only when relaxation actually
+        # bought a parallel dimension (the serialization rule), so its
+        # presence is exactly the "reduction-parallel schedule" signal.
+        tiled = data.get("tiled") or {}
+        if any(r.get("reduction") for r in tiled.get("rows", ())):
+            self.metrics.count_reduction_parallel()
 
     # -- the optimize path (threads loop) ----------------------------------
 

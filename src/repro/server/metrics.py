@@ -85,6 +85,10 @@ class ServerMetrics:
         self.structural_hits = 0
         self.structural_misses = 0
         self.structural_fallbacks = 0
+        # computed responses whose schedule carries at least one
+        # reduction-parallel row (parallel_reductions relaxation paid off);
+        # cache hits reuse a previously counted computation
+        self.reduction_parallel = 0
         # resolved execution backend -> optimize requests, e.g.
         # {"python": 40, "c": 2}; requests predating the knob count as
         # "python" (the resolved-options default)
@@ -158,6 +162,11 @@ class ServerMetrics:
             else:
                 self.structural_misses += 1
 
+    def count_reduction_parallel(self) -> None:
+        """One computed response whose schedule has reduction-parallel rows."""
+        with self._lock:
+            self.reduction_parallel += 1
+
     def count_backend(self, backend: str) -> None:
         """One resolved optimize request's execution backend."""
         with self._lock:
@@ -228,6 +237,7 @@ class ServerMetrics:
                 "structural_hits": self.structural_hits,
                 "structural_misses": self.structural_misses,
                 "structural_fallbacks": self.structural_fallbacks,
+                "reduction_parallel": self.reduction_parallel,
                 "backends": dict(self.backends),
                 "pool": {
                     "spawns": self.pool_spawns,
@@ -257,6 +267,7 @@ class ServerMetrics:
             f"fallbacks {json.dumps(snap['fallback_reasons'])}, "
             f"structural {snap['structural_hits']}/{snap['structural_misses']}"
             f"/{snap['structural_fallbacks']} (hit/miss/fb), "
+            f"{snap['reduction_parallel']} reduction-parallel, "
             f"errors {json.dumps(snap['errors'])}, "
             f"hit rate {snap['hit_rate']:.2f}, "
             f"p50 total {('%.3fs' % p50) if p50 is not None else 'n/a'}"

@@ -29,6 +29,12 @@ VARIANTS: dict[str, dict] = {
     "l2tile": {"algorithm": "plutoplus", "l2tile": True},
     "quick": {"algorithm": "plutoplus", "scheduler": "quick"},
     "auto": {"algorithm": "plutoplus", "scheduler": "auto"},
+    # RAR reuse as a locality objective (exact scheduler only; legality
+    # and thus the result's correctness story are unchanged).
+    "rar": {"algorithm": "plutoplus", "rar": True},
+    # Relax commutative-associative reductions and discharge them with
+    # reduction clauses / privatized partial sums at emission.
+    "redpar": {"algorithm": "plutoplus", "parallel_reductions": "omp"},
 }
 
 

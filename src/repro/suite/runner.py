@@ -97,6 +97,21 @@ def _ok_record(spec: RunSpec, result) -> dict:
                 None if result.scheduler_stats is None
                 else result.scheduler_stats.fallback_reason
             ),
+            # Resolved PR-10 knobs, stamped only when active so historical
+            # manifests (and their diffs) stay byte-identical at defaults.
+            **(
+                {"rar": True}
+                if spec.options.rar
+                else {}
+            ),
+            **(
+                {
+                    "parallel_reductions": spec.options.parallel_reductions,
+                    "reduction_levels": result.tiled.reduction_levels(),
+                }
+                if spec.options.parallel_reductions != "off"
+                else {}
+            ),
         },
         "timing": result.timing.as_dict(),
         "scheduler_stats": (

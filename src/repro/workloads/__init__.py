@@ -22,6 +22,7 @@ from repro.workloads.periodic import PERIODIC_HEAT  # noqa: F401
 from repro.workloads.lbm import LBM_WORKLOADS  # noqa: F401
 from repro.workloads.swim import SWIM  # noqa: F401
 from repro.workloads.motivation import MOTIVATION  # noqa: F401
+from repro.workloads.reduction_kernels import REDUCTION_KERNELS  # noqa: F401
 
 __all__ = [
     "PerfSpec",

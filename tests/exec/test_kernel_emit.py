@@ -99,3 +99,62 @@ class TestDisplayEmitterUnchanged:
         res = optimize(p, PipelineOptions(algorithm="plutoplus", tile=False))
         c = generate_c(res.tiled)
         assert "#pragma omp parallel for" in c
+
+
+class TestReductionEmission:
+    """The three discharge cases of ``_emit_reduction_loop``."""
+
+    def _opt(self, src, **overrides):
+        p = parse_program(src, "p", params=("N",))
+        opts = dict(
+            algorithm="plutoplus", tile=False, parallel_reductions="omp"
+        )
+        opts.update(overrides)
+        return optimize(p, PipelineOptions(**opts))
+
+    def test_scalar_accumulator_gets_reduction_clause(self):
+        res = self._opt("for (i = 0; i < N; i++) s = s + A[i] * B[i];")
+        assert res.tiled.reduction_levels() == [0]
+        src = generate_c_kernel(res.tiled).source
+        assert "#pragma omp parallel for reduction(+:__red0)" in src
+        assert "double __red0 = 0.0;" in src
+        assert "__red0 += (" in src
+        # serial combine back into the cell after the loop
+        assert "s[0] = s[0] + __red0;" in src
+        assert src.count("{") == src.count("}")
+
+    def test_array_cell_accumulator_gets_atomic(self):
+        # the written cell is a fixed array element, not a rank-0 scalar:
+        # no private copy exists, so the discharge is per-update atomics
+        res = self._opt("for (j = 0; j < N; j++) C[0] = C[0] + A[j];")
+        assert res.tiled.reduction_levels() == [0]
+        src = generate_c_kernel(res.tiled).source
+        assert "#pragma omp parallel for\n" in src
+        assert "#pragma omp atomic" in src
+        assert "reduction(" not in src
+
+    def test_nested_reduction_row_stays_sequential(self):
+        # gemm: i/j are genuinely parallel, k is reduction-tagged but
+        # nested inside their parallel region — a pragma there would race
+        gemm = """
+        for (i = 0; i < N; i++)
+            for (j = 0; j < N; j++)
+                for (k = 0; k < N; k++)
+                    C[i][j] = C[i][j] + A[i][k] * B[k][j];
+        """
+        res = self._opt(gemm)
+        assert res.tiled.reduction_levels()
+        src = generate_c_kernel(res.tiled).source
+        assert "#pragma omp parallel for" in src
+        assert "atomic" not in src and "reduction(" not in src
+        assert src.count("{") == src.count("}")
+
+    def test_privatize_mode_keeps_native_loop_sequential(self):
+        res = self._opt(
+            "for (i = 0; i < N; i++) s = s + A[i] * B[i];",
+            parallel_reductions="privatize",
+        )
+        assert res.tiled.reduction_levels() == [0]
+        src = generate_c_kernel(res.tiled).source
+        assert "reduction(" not in src and "atomic" not in src
+        assert "#pragma omp parallel for" not in src

@@ -90,3 +90,30 @@ class TestToPython:
     def test_functions_preserved(self, sp):
         py = to_python("A[i][j] = sqrt(A[i][j])", sp, ["A"])
         assert "sqrt(A[i, j])" in py
+
+
+class TestWrittenScalarStores:
+    """A *written* scalar must become a 0-d subscript even when it is in
+    the accessed-arrays list — a bare ``s = ...`` rebinds a local inside
+    the exec'd kernel and the store never reaches ``arrays['s']``."""
+
+    def test_written_scalar_rewritten_on_both_sides(self):
+        sp = Space(("i",), ("N",))
+        py = to_python("s = s + A[i] * B[i]", sp, ["A", "B", "s"])
+        assert py == "s[()] = s[()] + A[i] * B[i]"
+
+    def test_store_reaches_the_array(self):
+        sp = Space(("i",), ("N",))
+        py = to_python("s = s + A[i] * B[i]", sp, ["A", "B", "s"])
+        s = np.zeros(())
+        env = {"s": s, "A": np.ones(3), "B": np.ones(3), "i": 0}
+        exec(py, {}, env)
+        assert s[()] == 1.0
+
+    def test_read_only_scalars_stay_bare(self):
+        # historical spelling preserved: read-only scalars (alpha, beta in
+        # the polybench kernels) keep their bare form, so cached bodies and
+        # cache keys predating the fix are unchanged
+        sp = Space(("i",), ("N",))
+        py = to_python("C[i] = alpha * A[i]", sp, ["A", "C", "alpha"])
+        assert py == "C[i] = alpha * A[i]"

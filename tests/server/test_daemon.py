@@ -61,6 +61,19 @@ def _scripted(payload):
                 "fallback_reason": None if quick else "untilable-band",
             },
         })
+    if name.startswith("redpar"):
+        # the serialization rule: "reduction" appears on a tiled row only
+        # when relaxation actually bought a parallel dimension
+        return json.dumps({
+            "version": RESULT_FORMAT_VERSION,
+            "marker": name,
+            "tiled": {"rows": [
+                {"kind": "loop", "parallel": True, "reduction": [
+                    {"stmt": "S0", "array": "s", "op": "+", "mode": "omp"}
+                ]},
+                {"kind": "loop"},
+            ]},
+        })
     return json.dumps({"version": RESULT_FORMAT_VERSION, "marker": name})
 
 
@@ -174,6 +187,17 @@ class TestBasics:
             client.optimize(program=_program("ok-plain"))
             server = client.stats()["stats"]["server"]
         assert server["scheduler_paths"] == {"quick": 1, "fallback": 1}
+
+    def test_reduction_parallel_counted_once_per_computation(
+        self, daemon_factory
+    ):
+        daemon = daemon_factory()
+        with _client(daemon) as client:
+            client.optimize(program=_program("redpar-a"))
+            client.optimize(program=_program("ok-noredpar"))
+            client.optimize(program=_program("redpar-a"))  # cache hit
+            server = client.stats()["stats"]["server"]
+        assert server["reduction_parallel"] == 1
 
 
 class TestBadRequests:

@@ -176,3 +176,19 @@ class TestServerMetrics:
         assert m.snapshot()["shard_routes"] == {
             "/tmp/s0.sock": 2, "/tmp/s1.sock": 1,
         }
+
+
+class TestReductionParallelCounter:
+    def test_counter_and_snapshot(self):
+        m = ServerMetrics()
+        assert m.snapshot(in_flight=0, queue_depth=0)["reduction_parallel"] == 0
+        m.count_reduction_parallel()
+        m.count_reduction_parallel()
+        assert m.reduction_parallel == 2
+        snap = m.snapshot(in_flight=0, queue_depth=0)
+        assert snap["reduction_parallel"] == 2
+
+    def test_summary_line_mentions_it(self):
+        m = ServerMetrics()
+        m.count_reduction_parallel()
+        assert "1 reduction-parallel" in m.summary_line()

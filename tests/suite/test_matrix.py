@@ -77,3 +77,29 @@ class TestRunSpec:
 
         (spec,) = build_matrix(filters=["heat-1dp"])
         assert json.loads(json.dumps(spec.to_dict())) == spec.to_dict()
+
+
+class TestReductionVariants:
+    def test_rar_variant(self):
+        assert "rar" in VARIANTS
+        (spec,) = build_matrix(variants=("rar",), filters=["heat-1dp"])
+        assert spec.options.rar is True
+        assert spec.options.algorithm == "plutoplus"
+        # survives the manifest round-trip (cross-process suite workers)
+        assert RunSpec.from_dict(spec.to_dict()).options.rar is True
+
+    def test_redpar_variant(self):
+        assert "redpar" in VARIANTS
+        specs = build_matrix(
+            variants=("redpar",), category="reduction", filters=["dot"]
+        )
+        (spec,) = specs
+        assert spec.options.parallel_reductions == "omp"
+        roundtrip = RunSpec.from_dict(spec.to_dict())
+        assert roundtrip.options.parallel_reductions == "omp"
+
+    def test_reduction_category_in_matrix(self):
+        specs = build_matrix(category="reduction")
+        assert {"dot", "l2norm", "tensor-contract"} <= {
+            s.workload for s in specs
+        }

@@ -116,3 +116,21 @@ def test_native_backend_recipe(tmp_path):
     else:
         assert stats.backend == "c"
         assert stats.artifact_cache in ("compiled", "disk", "memory")
+
+
+def test_parallel_reductions_recipe():
+    # docs/USAGE.md "Parallelizing reductions, and RAR locality"
+    from repro.workloads import get_workload
+
+    w = get_workload("dot")
+    res = optimize(
+        w.program(), w.pipeline_options("plutoplus", parallel_reductions="omp")
+    )
+    assert res.tiled.reduction_levels() == [0]
+    assert "# parallel reduction" in res.code.python_source
+
+    rar = optimize(
+        get_workload("gemm").program(),
+        PipelineOptions(algorithm="plutoplus", rar=True),
+    )
+    assert rar.dep_stats.rar_deps > 0

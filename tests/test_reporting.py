@@ -66,3 +66,53 @@ class TestAsciiSeries:
 
     def test_no_data(self):
         assert ascii_series([1], {"a": [1]}) == "(no data)"
+
+
+class TestSuiteReportColumns:
+    """The PR-10 rar/redpar columns degrade to '-' on older records."""
+
+    @staticmethod
+    def _record(props_extra):
+        return {
+            "run_id": "w--v",
+            "status": "ok",
+            "timing": {
+                "dependence_analysis": 0.1,
+                "auto_transformation": 0.2,
+                "code_generation": 0.1,
+                "misc": 0.0,
+                "total": 0.4,
+            },
+            "schedule_properties": {
+                "depth": 2,
+                "bands": ["b"],
+                "max_band_width": 2,
+                "parallel_levels": [0],
+                "concurrent_start": False,
+                "used_iss": False,
+                "used_diamond": False,
+                "scheduler_path": "exact",
+                **props_extra,
+            },
+        }
+
+    def test_old_record_renders_dashes(self):
+        from repro.reporting import format_suite_report
+
+        text = format_suite_report([self._record({})])
+        assert "rar" in text and "redpar" in text
+        row = next(l for l in text.splitlines() if "w--v" in l and "exact" in l)
+        assert row.rstrip().endswith("-")
+
+    def test_active_knobs_render(self):
+        from repro.reporting import format_suite_report
+
+        text = format_suite_report([
+            self._record({
+                "rar": True,
+                "parallel_reductions": "omp",
+                "reduction_levels": [0, 2],
+            })
+        ])
+        row = next(l for l in text.splitlines() if "w--v" in l and "exact" in l)
+        assert "yes" in row and "0,2" in row
